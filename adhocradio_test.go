@@ -1,0 +1,140 @@
+package adhocradio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBroadcastQuickstartFlow(t *testing.T) {
+	src := NewRand(1)
+	g, err := RandomLayered(128, 8, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, NewOptimalRandomized(), Config{Seed: 7}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.BroadcastTime <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestAllPublicProtocolsComplete(t *testing.T) {
+	src := NewRand(2)
+	g := GNPConnected(80, 0.06, src)
+	protocols := []Protocol{
+		NewOptimalRandomized(),
+		NewOptimalRandomizedWithParams(RandomizedParams{KnownRadius: 8}),
+		NewDecay(),
+		NewRoundRobin(),
+		NewSelectAndSend(),
+		NewInterleaved(NewRoundRobin(), NewSelectAndSend()),
+	}
+	for _, p := range protocols {
+		res, err := Broadcast(g, p, Config{Seed: 3}, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s incomplete", p.Name())
+		}
+	}
+}
+
+func TestCompleteLayeredProtocolOnItsClass(t *testing.T) {
+	g, err := UniformCompleteLayered(200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, NewCompleteLayered(), Config{}, Options{})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestTopologyGenerators(t *testing.T) {
+	src := NewRand(3)
+	graphs := map[string]*Graph{
+		"path":  Path(10),
+		"star":  Star(10),
+		"cliq":  Clique(6),
+		"grid":  Grid(3, 4),
+		"tree":  RandomTree(20, src),
+		"gnp":   GNPConnected(20, 0.2, src),
+		"disk":  UnitDisk(25, 0.3, src),
+		"chain": StarChain(2, 3),
+		"cat":   Caterpillar(4, 2),
+	}
+	cl, err := CompleteLayeredNetwork([]int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["layers"] = cl
+	rl, err := RandomLayered(30, 5, 0.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["rlayers"] = rl
+	dl, err := DirectedLayered(30, 5, 0.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["dlayers"] = dl
+	for name, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAdversaryFacade(t *testing.T) {
+	c, err := BuildAdversarialNetwork(NewRoundRobin(), AdversaryParams{N: 256, D: 16, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyAdversarialNetwork(NewRoundRobin(), c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BroadcastTime < c.LowerBoundSteps() {
+		t.Fatalf("time %d below bound %d", res.BroadcastTime, c.LowerBoundSteps())
+	}
+}
+
+func TestUniversalSequenceFacade(t *testing.T) {
+	u, err := BuildUniversalSequence(1<<20, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildUniversalSequenceRelaxed(1<<10, 1<<8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(Experiments()) != 14 {
+		t.Fatalf("%d experiments", len(Experiments()))
+	}
+	var buf bytes.Buffer
+	tab, err := RunExperiment("E2", ExperimentConfig{Seed: 1, Quick: true, Trials: 2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 || !strings.Contains(buf.String(), "E2") {
+		t.Fatal("experiment produced no output")
+	}
+	if _, err := RunExperiment("E0", ExperimentConfig{}, nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDefaultMaxStepsExposed(t *testing.T) {
+	if DefaultMaxSteps(100) <= 0 {
+		t.Fatal("bad default")
+	}
+}

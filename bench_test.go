@@ -1,0 +1,163 @@
+package adhocradio
+
+// One benchmark per reproduction experiment (E1–E14 of DESIGN.md) at full
+// scale, plus micro-benchmarks of each broadcasting algorithm on fixed
+// topologies. The experiment benchmarks regenerate the tables of
+// EXPERIMENTS.md; run with
+//
+//	go test -bench=. -benchmem
+//
+// Broadcast benchmarks report steps/op (simulated radio steps per
+// broadcast) next to wall time, since simulated steps are the paper's
+// complexity measure.
+
+import (
+	"io"
+	"testing"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := RunExperiment(id, ExperimentConfig{Seed: uint64(i + 1), Trials: 3}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE1RandomizedLargeD regenerates E1: KP vs BGI at D = n/16
+// (Theorem 1's advantage regime).
+func BenchmarkE1RandomizedLargeD(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2RandomizedSmallD regenerates E2: the log²n-dominated regime.
+func BenchmarkE2RandomizedSmallD(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3LayeredHardness regenerates E3: complete layered networks as
+// the hardest randomized instances.
+func BenchmarkE3LayeredHardness(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4AdversarialLowerBound regenerates E4: the Theorem 2 adversary
+// against round-robin and Select-and-Send, with Lemma 9 verification.
+func BenchmarkE4AdversarialLowerBound(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5SelectAndSend regenerates E5: O(n log n) across topologies.
+func BenchmarkE5SelectAndSend(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6CompleteLayered regenerates E6: O(n + D log n) vs the refuted
+// Ω(n log D).
+func BenchmarkE6CompleteLayered(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7InterleavingCrossover regenerates E7: the round-robin /
+// Select-and-Send crossover near D ≈ log n.
+func BenchmarkE7InterleavingCrossover(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8UniversalSequenceAblation regenerates E8: Stage(D,i) with and
+// without the universal-sequence step.
+func BenchmarkE8UniversalSequenceAblation(b *testing.B) { benchExperiment(b, "E8") }
+
+// Micro-benchmarks: one broadcast per iteration on a fixed topology.
+
+func benchBroadcast(b *testing.B, build func() (*Graph, error), mk func() Protocol) {
+	b.Helper()
+	g, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalSteps := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Broadcast(g, mk(), Config{Seed: uint64(i + 1)}, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalSteps += res.BroadcastTime
+	}
+	b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+}
+
+func BenchmarkBroadcastKPLayered(b *testing.B) {
+	benchBroadcast(b,
+		func() (*Graph, error) { return RandomLayered(2048, 128, 0.3, NewRand(1)) },
+		func() Protocol { return NewOptimalRandomized() })
+}
+
+func BenchmarkBroadcastBGILayered(b *testing.B) {
+	benchBroadcast(b,
+		func() (*Graph, error) { return RandomLayered(2048, 128, 0.3, NewRand(1)) },
+		func() Protocol { return NewDecay() })
+}
+
+func BenchmarkBroadcastSelectAndSendTree(b *testing.B) {
+	benchBroadcast(b,
+		func() (*Graph, error) { return RandomTree(1024, NewRand(2)), nil },
+		func() Protocol { return NewSelectAndSend() })
+}
+
+func BenchmarkBroadcastRoundRobinLayered(b *testing.B) {
+	benchBroadcast(b,
+		func() (*Graph, error) { return RandomLayered(1024, 16, 0.3, NewRand(3)) },
+		func() Protocol { return NewRoundRobin() })
+}
+
+func BenchmarkBroadcastCompleteLayered(b *testing.B) {
+	benchBroadcast(b,
+		func() (*Graph, error) { return UniformCompleteLayered(2048, 64) },
+		func() Protocol { return NewCompleteLayered() })
+}
+
+func BenchmarkAdversaryBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := BuildAdversarialNetwork(NewSelectAndSend(),
+			AdversaryParams{N: 1024, D: 64, Force: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.G.N() != 1025 {
+			b.Fatal("bad construction")
+		}
+	}
+}
+
+func BenchmarkUniversalSequenceBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUniversalSequence(1<<20, 1<<19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-experiment benchmarks (E9–E13; not paper tables, see DESIGN.md).
+
+// BenchmarkE9MessageComplexity regenerates the energy table.
+func BenchmarkE9MessageComplexity(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10NeighborhoodKnowledge regenerates the [2]-DFS vs
+// Select-and-Send comparison.
+func BenchmarkE10NeighborhoodKnowledge(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11ModelLandscape regenerates the §1.1 model comparison.
+func BenchmarkE11ModelLandscape(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12DirectedHardness regenerates the directed adversarial table.
+func BenchmarkE12DirectedHardness(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13DirectedRandomized regenerates the §2 directed-generality
+// check.
+func BenchmarkE13DirectedRandomized(b *testing.B) { benchExperiment(b, "E13") }
+
+func BenchmarkDirectedAdversaryBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := BuildDirectedAdversarialNetwork(NewObliviousDecay(7),
+			DirectedAdversaryParams{N: 512, D: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Layers) != 8 {
+			b.Fatal("bad construction")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command radiobench regenerates the reproduction experiments E1–E14 of
+// DESIGN.md and prints their tables (optionally also as CSV files).
+//
+// Usage:
+//
+//	radiobench                 # run everything at full scale
+//	radiobench -only E4,E6     # a subset
+//	radiobench -quick          # reduced sizes (seconds instead of minutes)
+//	radiobench -csv out/       # additionally write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"adhocradio"
+	"adhocradio/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "reduced problem sizes")
+		trials = flag.Int("trials", 0, "trials per randomized point (0 = per-experiment default)")
+		seed   = flag.Uint64("seed", 1, "master seed")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
+		verify = flag.Bool("verify", false, "assert the paper's qualitative claims on each table (full scale only)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	cfg := adhocradio.ExperimentConfig{Seed: *seed, Quick: *quick, Trials: *trials}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range adhocradio.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *verify {
+			if check, ok := experiment.ShapeChecks()[e.ID]; ok {
+				if err := check(tab); err != nil {
+					return fmt.Errorf("shape check failed: %w", err)
+				}
+				fmt.Printf("shape check: the paper's claim holds on this table\n")
+			}
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := tab.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

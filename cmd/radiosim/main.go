@@ -1,0 +1,158 @@
+// Command radiosim runs a single broadcast simulation and reports what
+// happened, optionally tracing every step.
+//
+// Usage:
+//
+//	radiosim -topo layered -n 1024 -d 64 -proto kp -seed 7 -v
+//
+// Topologies: path, star, clique, grid, layered (random layered), complete
+// (complete layered), gnp, tree, disk, starchain.
+// Protocols: kp (optimal randomized), bgi (Decay), rr (round-robin),
+// ss (Select-and-Send), cl (Complete-Layered), inter (rr+ss interleaved).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"adhocradio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topo     = flag.String("topo", "layered", "topology: path|star|clique|grid|layered|complete|gnp|tree|disk|starchain")
+		n        = flag.Int("n", 256, "number of nodes")
+		d        = flag.Int("d", 16, "radius (layered/complete/starchain)")
+		p        = flag.Float64("p", 0.3, "edge density (layered/gnp)")
+		proto    = flag.String("proto", "kp", "protocol: kp|bgi|rr|ss|cl|inter")
+		seed     = flag.Uint64("seed", 1, "random seed (topology and protocol)")
+		maxStep  = flag.Int("maxsteps", 0, "step budget (0 = default)")
+		verbose  = flag.Bool("v", false, "trace every step with transmissions")
+		timeline = flag.Bool("timeline", false, "print the informed-fraction timeline and per-layer delays")
+		energy   = flag.Bool("energy", false, "print per-node energy (transmission) statistics")
+		heatmap  = flag.Bool("heatmap", false, "print the layer/time heatmap")
+	)
+	flag.Parse()
+
+	g, err := buildTopology(*topo, *n, *d, *p, *seed)
+	if err != nil {
+		return err
+	}
+	protocol, err := pickProtocol(*proto)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network:  %s\n", g.Stats())
+	fmt.Printf("protocol: %s\n", protocol.Name())
+
+	opt := adhocradio.Options{MaxSteps: *maxStep}
+	collector := adhocradio.NewCollector()
+	hook := collector.Hook()
+	opt.Trace = func(step int, tx []int, rx []adhocradio.Message) {
+		hook(step, tx, rx)
+		if *verbose && len(tx) > 0 {
+			fmt.Printf("step %5d: tx=%v rx=%d\n", step, tx, len(rx))
+		}
+	}
+	res, err := adhocradio.Broadcast(g, protocol, adhocradio.Config{Seed: *seed}, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broadcast time:  %d steps\n", res.BroadcastTime)
+	fmt.Printf("transmissions:   %d\n", res.Transmissions)
+	fmt.Printf("receptions:      %d\n", res.Receptions)
+	fmt.Printf("collisions:      %d\n", res.Collisions)
+	if r, err := g.Radius(); err == nil && r > 0 {
+		fmt.Printf("steps per layer: %.1f\n", float64(res.BroadcastTime)/float64(r))
+	}
+	if *timeline {
+		progress, err := adhocradio.AnalyzeProgress(g, res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(progress.Timeline(60))
+		if layer, delay := progress.SlowestLayer(); layer >= 0 {
+			fmt.Printf("slowest layer:   %d (%d steps to cross)\n", layer, delay)
+		}
+	}
+	if *energy {
+		e := collector.Energy()
+		fmt.Printf("energy: %d transmissions over %d active nodes (mean %.1f, max %d at node %d)\n",
+			e.Total, e.Nodes, e.Mean, e.Max, e.MaxNode)
+		fmt.Printf("fairness (Jain): %.3f\n", collector.JainFairness())
+		fmt.Printf("top transmitters: %v\n", collector.TopTransmitters(5))
+	}
+	if *heatmap {
+		progress, err := adhocradio.AnalyzeProgress(g, res)
+		if err != nil {
+			return err
+		}
+		layers, err := g.Layers()
+		if err != nil {
+			return err
+		}
+		fmt.Print(adhocradio.LayerHeatmap(progress, layers, res.InformedAt, 60))
+	}
+	return nil
+}
+
+func buildTopology(topo string, n, d int, p float64, seed uint64) (*adhocradio.Graph, error) {
+	src := adhocradio.NewRand(seed)
+	switch topo {
+	case "path":
+		return adhocradio.Path(n), nil
+	case "star":
+		return adhocradio.Star(n), nil
+	case "clique":
+		return adhocradio.Clique(n), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return adhocradio.Grid(side, side), nil
+	case "layered":
+		return adhocradio.RandomLayered(n, d, p, src)
+	case "complete":
+		return adhocradio.UniformCompleteLayered(n, d)
+	case "gnp":
+		return adhocradio.GNPConnected(n, p, src), nil
+	case "tree":
+		return adhocradio.RandomTree(n, src), nil
+	case "disk":
+		return adhocradio.UnitDisk(n, 2/math.Sqrt(float64(n)), src), nil
+	case "starchain":
+		return adhocradio.StarChain(d, (n-1)/(d+1)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}
+
+func pickProtocol(name string) (adhocradio.Protocol, error) {
+	switch name {
+	case "kp":
+		return adhocradio.NewOptimalRandomized(), nil
+	case "kp-paper":
+		return adhocradio.NewOptimalRandomizedWithParams(adhocradio.RandomizedParams{
+			StageFactor: 4660, FallbackFactor: 32}), nil
+	case "bgi":
+		return adhocradio.NewDecay(), nil
+	case "rr":
+		return adhocradio.NewRoundRobin(), nil
+	case "ss":
+		return adhocradio.NewSelectAndSend(), nil
+	case "cl":
+		return adhocradio.NewCompleteLayered(), nil
+	case "inter":
+		return adhocradio.NewInterleaved(adhocradio.NewRoundRobin(), adhocradio.NewSelectAndSend()), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}

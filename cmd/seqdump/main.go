@@ -1,0 +1,87 @@
+// Command seqdump builds a Lemma 1 universal sequence and reports its
+// structure: the base period, the per-exponent occurrence counts, and the
+// verified recurrence windows (conditions U1 and U2).
+//
+// Usage:
+//
+//	seqdump -r 1048576 -d 524288          # strict, inside the lemma window
+//	seqdump -r 4096 -d 512 -relaxed       # laptop-scale, clamped levels
+//	seqdump -r 4096 -d 512 -relaxed -dump # print the period itself
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocradio/internal/sequences"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "seqdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		r       = flag.Int("r", 1<<20, "label bound (power of two)")
+		d       = flag.Int("d", 1<<19, "assumed radius (power of two, <= r)")
+		relaxed = flag.Bool("relaxed", false, "clamp out-of-window tree levels (BuildRelaxed)")
+		dump    = flag.Bool("dump", false, "print the full base period")
+	)
+	flag.Parse()
+
+	build := sequences.Build
+	if *relaxed {
+		build = sequences.BuildRelaxed
+	}
+	u, err := build(*r, *d)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("universal sequence for r=%d, D=%d\n", u.R(), u.D())
+	fmt.Printf("strict construction: %v\n", u.Strict())
+	fmt.Printf("period length:       %d (Lemma 1 bound: < %d)\n", u.Period(), u.TotalBound())
+	fmt.Printf("U1/U2 boundary J1:   %d\n", u.J1())
+
+	if err := u.Verify(); err != nil {
+		fmt.Printf("verification:        FAILED: %v\n", err)
+	} else {
+		fmt.Printf("verification:        U1 and U2 hold over the infinite concatenation\n")
+	}
+
+	// Occurrence counts and guaranteed windows per exponent.
+	counts := map[int]int{}
+	maxJ := 0
+	for i := 1; i <= u.Period(); i++ {
+		j := u.ExponentAt(i)
+		counts[j]++
+		if j > maxJ {
+			maxJ = j
+		}
+	}
+	fmt.Println("\nexponent  probability  occurrences  guaranteed window")
+	for j := 0; j <= maxJ; j++ {
+		c, ok := counts[j]
+		if !ok {
+			continue
+		}
+		w := u.GuaranteedWindow(j)
+		fmt.Printf("%8d  1/2^%-7d %11d  every %d stages\n", j, j, c, w)
+	}
+
+	if *dump {
+		fmt.Println("\nbase period (exponents):")
+		for i := 1; i <= u.Period(); i++ {
+			if (i-1)%32 == 0 && i > 1 {
+				fmt.Println()
+			}
+			fmt.Printf("%3d ", u.ExponentAt(i))
+		}
+		fmt.Println()
+	}
+	return nil
+}

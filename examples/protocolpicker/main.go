@@ -1,0 +1,117 @@
+// Protocolpicker: the downstream-user scenario. Given what an operator
+// knows about a deployment — the scale, a radius estimate, whether
+// randomness is acceptable, and which knowledge model holds — pick a
+// broadcasting protocol using the paper's results, then sanity-check the
+// choice by simulating every candidate on a synthetic network of the
+// deployment's shape.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adhocradio"
+)
+
+// deployment describes what the operator knows.
+type deployment struct {
+	name           string
+	n, d           int
+	allowRandom    bool
+	knowsNeighbors bool
+	spontaneousOK  bool
+}
+
+func main() {
+	deployments := []deployment{
+		{"dense sensor hall (randomized firmware)", 800, 12, true, false, false},
+		{"regulatory-deterministic metering mesh", 600, 24, false, false, false},
+		{"pre-provisioned rollout (neighbor lists flashed)", 600, 24, false, true, false},
+		{"always-on relays (may transmit before joining)", 600, 24, false, false, true},
+	}
+	for _, dep := range deployments {
+		fmt.Printf("=== %s (n=%d, D≈%d) ===\n", dep.name, dep.n, dep.d)
+		recommended := recommend(dep)
+		fmt.Printf("paper-guided pick: %s\n", recommended.Name())
+		benchmark(dep, recommended)
+		fmt.Println()
+	}
+}
+
+// recommend applies the paper's decision surface.
+func recommend(dep deployment) adhocradio.Protocol {
+	switch {
+	case dep.knowsNeighbors:
+		// §1.1: linear-time DFS once neighborhoods are known.
+		return adhocradio.NewDFSNeighborhood()
+	case dep.spontaneousOK:
+		// §1.1 / [7]: spontaneous transmissions buy O(n).
+		return adhocradio.NewSpontaneousLinear()
+	case dep.allowRandom:
+		// Theorem 1: optimal randomized broadcast.
+		return adhocradio.NewOptimalRandomized()
+	default:
+		// Deterministic standard model: O(n·min(D, log n)) interleaving
+		// (§4.2) dominates both round-robin and Select-and-Send alone.
+		return adhocradio.NewInterleaved(adhocradio.NewRoundRobin(), adhocradio.NewSelectAndSend())
+	}
+}
+
+// benchmark simulates every candidate on a network of the deployment's
+// shape and prints the ranking, marking the recommended pick.
+func benchmark(dep deployment, pick adhocradio.Protocol) {
+	src := adhocradio.NewRand(uint64(dep.n + dep.d))
+	g, err := adhocradio.RandomLayered(dep.n, dep.d, 0.25, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := []adhocradio.Protocol{
+		adhocradio.NewOptimalRandomized(),
+		adhocradio.NewDecay(),
+		adhocradio.NewRoundRobin(),
+		adhocradio.NewSelectAndSend(),
+		adhocradio.NewInterleaved(adhocradio.NewRoundRobin(), adhocradio.NewSelectAndSend()),
+		adhocradio.NewDFSNeighborhood(),
+		adhocradio.NewSpontaneousLinear(),
+	}
+	type row struct {
+		name    string
+		time    int
+		allowed bool
+	}
+	var rows []row
+	for _, p := range candidates {
+		res, err := adhocradio.Broadcast(g, p, adhocradio.Config{Seed: 1}, adhocradio.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{p.Name(), res.BroadcastTime, allowed(dep, p)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].time < rows[j].time })
+	for _, r := range rows {
+		marker := "  "
+		if r.name == pick.Name() {
+			marker = "=>"
+		}
+		status := "ok"
+		if !r.allowed {
+			status = "unavailable in this model"
+		}
+		fmt.Printf(" %s %-42s %7d steps  (%s)\n", marker, r.name, r.time, status)
+	}
+}
+
+// allowed reports whether a protocol's requirements fit the deployment.
+func allowed(dep deployment, p adhocradio.Protocol) bool {
+	switch p.Name() {
+	case "dfs-neighborhood":
+		return dep.knowsNeighbors
+	case "spontaneous-linear":
+		return dep.spontaneousOK
+	case "kp-optimal", "bgi-decay":
+		return dep.allowRandom
+	default:
+		return true
+	}
+}

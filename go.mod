@@ -1,0 +1,3 @@
+module adhocradio
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package bitset implements a dense bit set over non-negative integers.
+//
+// The radio simulator tracks per-step transmitter sets, informed sets, and
+// visited sets over node labels 0..r; a dense bit set keeps those operations
+// allocation-free on the hot path.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bit set. The zero value is an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set pre-sized to hold values in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures the set can hold value i.
+func (s *Set) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts i into the set. Negative values panic: labels are never
+// negative, so this is always a caller bug.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic("bitset: Add of negative value")
+	}
+	s.grow(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set; removing an absent value is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w}
+}
+
+// Union adds every element of t to s.
+func (s *Set) Union(t *Set) {
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words)*wordBits - 1)
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect removes from s every element not in t.
+func (s *Set) Intersect(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Subtract removes from s every element of t.
+func (s *Set) Subtract(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the elements in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// CountInRange returns the number of elements in [lo, hi].
+func (s *Set) CountInRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.words)*wordBits {
+		hi = len(s.words)*wordBits - 1
+	}
+	c := 0
+	for i := lo; i <= hi; {
+		wi := i / wordBits
+		w := s.words[wi]
+		// Mask off bits below i within this word.
+		w &= ^uint64(0) << uint(i%wordBits)
+		// Mask off bits above hi if hi falls inside this word.
+		if hi/wordBits == wi {
+			w &= ^uint64(0) >> uint(wordBits-1-hi%wordBits)
+		}
+		c += bits.OnesCount64(w)
+		i = (wi + 1) * wordBits
+	}
+	return c
+}
+
+// String renders the set like "{1, 5, 9}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adhocradio/internal/rng"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	s.Add(100)
+	if !s.Contains(100) || s.Len() != 1 {
+		t.Fatal("Add on zero value failed")
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(10)
+	for _, v := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		if s.Contains(v) {
+			t.Fatalf("fresh set contains %d", v)
+		}
+		s.Add(v)
+		if !s.Contains(v) {
+			t.Fatalf("set missing %d after Add", v)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 7 {
+		t.Fatal("Remove(64) failed")
+	}
+	s.Remove(64)    // idempotent
+	s.Remove(99999) // out of range: no-op
+	s.Remove(-3)    // negative: no-op
+	if s.Len() != 7 {
+		t.Fatal("no-op removes changed set")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(4).Add(-1)
+}
+
+func TestContainsNegative(t *testing.T) {
+	s := New(4)
+	if s.Contains(-1) {
+		t.Fatal("Contains(-1) true")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 200; i += 3 {
+		s.Add(i)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(8)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(5)
+	if s.Contains(5) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Contains(3) {
+		t.Fatal("Clone lost element")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(8)
+	b := New(8)
+	for _, v := range []int{1, 2, 3, 70} {
+		a.Add(v)
+	}
+	for _, v := range []int{2, 3, 4, 200} {
+		b.Add(v)
+	}
+
+	u := a.Clone()
+	u.Union(b)
+	want := []int{1, 2, 3, 4, 70, 200}
+	if got := u.Elements(); !equalInts(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if got := i.Elements(); !equalInts(got, []int{2, 3}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if a.IntersectionCount(b) != 2 || b.IntersectionCount(a) != 2 {
+		t.Fatal("IntersectionCount wrong")
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if got := d.Elements(); !equalInts(got, []int{1, 70}) {
+		t.Fatalf("Subtract = %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(1)
+	b := New(1000) // different capacity, same contents
+	a.Add(5)
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal ignores capacity difference incorrectly")
+	}
+	b.Add(999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("Equal missed element beyond shorter set")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	n := 0
+	s.ForEach(func(i int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(8)
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatal("empty set Min/Max not -1")
+	}
+	s.Add(77)
+	s.Add(12)
+	s.Add(300)
+	if s.Min() != 12 || s.Max() != 300 {
+		t.Fatalf("Min=%d Max=%d", s.Min(), s.Max())
+	}
+}
+
+func TestCountInRange(t *testing.T) {
+	s := New(8)
+	for _, v := range []int{0, 5, 63, 64, 100, 200} {
+		s.Add(v)
+	}
+	cases := []struct{ lo, hi, want int }{
+		{0, 200, 6},
+		{1, 199, 4},
+		{5, 64, 3},
+		{64, 64, 1},
+		{65, 99, 0},
+		{-10, 3, 1},
+		{0, 100000, 6},
+		{201, 500, 0},
+	}
+	for _, c := range cases {
+		if got := s.CountInRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CountInRange(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(4)
+	s.Add(1)
+	s.Add(9)
+	if got := s.String(); got != "{1, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property test: Set behaves like a map[int]bool under random operations.
+func TestAgainstMapModel(t *testing.T) {
+	r := rng.New(12345)
+	s := New(64)
+	model := map[int]bool{}
+	for op := 0; op < 20000; op++ {
+		v := r.Intn(512)
+		switch r.Intn(3) {
+		case 0:
+			s.Add(v)
+			model[v] = true
+		case 1:
+			s.Remove(v)
+			delete(model, v)
+		case 2:
+			if s.Contains(v) != model[v] {
+				t.Fatalf("op %d: Contains(%d) mismatch", op, v)
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len=%d model=%d", s.Len(), len(model))
+	}
+	var want []int
+	for v := range model {
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	if got := s.Elements(); !equalInts(got, want) {
+		t.Fatalf("Elements mismatch: %v vs %v", got, want)
+	}
+}
+
+// Property: CountInRange(lo,hi) equals brute-force count.
+func TestCountInRangeQuick(t *testing.T) {
+	r := rng.New(777)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		s := New(0)
+		vals := map[int]bool{}
+		for i := 0; i < 30; i++ {
+			v := rr.Intn(300)
+			s.Add(v)
+			vals[v] = true
+		}
+		lo, hi := r.Intn(310)-5, r.Intn(310)-5
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for v := range vals {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		return s.CountInRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < b.N; i++ {
+		v := i & 4095
+		s.Add(v)
+		if !s.Contains(v) {
+			b.Fatal("missing")
+		}
+	}
+}

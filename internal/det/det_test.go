@@ -1,0 +1,266 @@
+package det
+
+import (
+	"math"
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+)
+
+func mustRun(t *testing.T, g *graph.Graph, p radio.Protocol) *radio.Result {
+	t.Helper()
+	res, err := radio.Run(g, p, radio.Config{}, radio.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	if !res.Completed {
+		t.Fatalf("%s: incomplete", p.Name())
+	}
+	return res
+}
+
+func TestRoundRobinExactOnSmallPath(t *testing.T) {
+	// Path 0-1-2, R=2, period 3. Node 0 transmits at t=3 (informing 1),
+	// node 1 at t=4 (informing 2).
+	res := mustRun(t, graph.Path(3), RoundRobin{})
+	if res.BroadcastTime != 4 {
+		t.Fatalf("BroadcastTime = %d, want 4", res.BroadcastTime)
+	}
+}
+
+func TestRoundRobinWithinNDBound(t *testing.T) {
+	for _, n := range []int{8, 32, 100} {
+		g := graph.Path(n)
+		res := mustRun(t, g, RoundRobin{})
+		if res.BroadcastTime > n*(n-1) {
+			t.Fatalf("n=%d: time %d exceeds (R+1)·D", n, res.BroadcastTime)
+		}
+	}
+}
+
+func TestRoundRobinOnVariedTopologies(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		graph.Star(40),
+		graph.Clique(30),
+		graph.Grid(6, 7),
+		graph.GNPConnected(80, 0.05, src),
+		graph.RandomTree(80, src),
+	}
+	for _, g := range graphs {
+		mustRun(t, g, RoundRobin{})
+	}
+}
+
+func TestSelectAndSendSmallestCases(t *testing.T) {
+	// n=2: source informs node 1 at step 1.
+	res := mustRun(t, graph.Path(2), SelectAndSend{})
+	if res.BroadcastTime != 1 {
+		t.Fatalf("n=2: BroadcastTime = %d", res.BroadcastTime)
+	}
+	// Star: the very first init transmission informs every leaf.
+	res = mustRun(t, graph.Star(30), SelectAndSend{})
+	if res.BroadcastTime != 1 {
+		t.Fatalf("star: BroadcastTime = %d", res.BroadcastTime)
+	}
+}
+
+func TestSelectAndSendPath(t *testing.T) {
+	// Every path node must be woken by the token walking down the path.
+	res := mustRun(t, graph.Path(20), SelectAndSend{})
+	// Monotone wake order along the path.
+	for v := 1; v < 20; v++ {
+		if res.InformedAt[v] <= res.InformedAt[v-1] {
+			t.Fatalf("path wake order broken at %d: %v", v, res.InformedAt[:v+1])
+		}
+	}
+}
+
+func TestSelectAndSendVariedTopologies(t *testing.T) {
+	src := rng.New(2)
+	graphs := map[string]*graph.Graph{
+		"clique":  graph.Clique(40),
+		"grid":    graph.Grid(7, 9),
+		"gnp":     graph.GNPConnected(120, 0.04, src),
+		"tree":    graph.RandomTree(150, src),
+		"cat":     graph.Caterpillar(20, 3),
+		"chain":   graph.StarChain(5, 9),
+		"layered": mustLayered(t, 90, 9),
+	}
+	for name, g := range graphs {
+		res := mustRun(t, g, SelectAndSend{})
+		n := float64(g.N())
+		bound := 40 * n * math.Log2(n)
+		if float64(res.BroadcastTime) > bound {
+			t.Fatalf("%s: time %d far above c·n·log n (%f)", name, res.BroadcastTime, bound)
+		}
+	}
+}
+
+func mustLayered(t *testing.T, n, d int) *graph.Graph {
+	t.Helper()
+	g, err := graph.UniformCompleteLayered(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSelectAndSendScalesNLogN(t *testing.T) {
+	// Doubling n on random trees should grow time by ~2·(1+o(1)), far
+	// below the ~4x of a quadratic algorithm.
+	src := rng.New(3)
+	avg := func(n int) float64 {
+		total := 0
+		const trials = 3
+		for i := 0; i < trials; i++ {
+			g := graph.RandomTree(n, src)
+			total += mustRun(t, g, SelectAndSend{}).BroadcastTime
+		}
+		return float64(total) / trials
+	}
+	t1, t2 := avg(200), avg(400)
+	ratio := t2 / t1
+	if ratio > 3.0 {
+		t.Fatalf("doubling n scaled time by %.2f; too superlinear for O(n log n)", ratio)
+	}
+}
+
+func TestCompleteLayeredOnPaths(t *testing.T) {
+	// A path is a complete layered network with singleton layers.
+	res := mustRun(t, graph.Path(12), CompleteLayered{})
+	if res.BroadcastTime <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestCompleteLayeredOnLayeredNetworks(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{40, 4}, {101, 10}, {200, 8}, {64, 63}, {33, 2}} {
+		g := mustLayered(t, tc.n, tc.d)
+		res := mustRun(t, g, CompleteLayered{})
+		// Sanity: all of layer k informed when leader v_{k-1} wakes it, so
+		// nodes of the same layer share their informed step.
+		layers, err := g.Layers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, layer := range layers {
+			if k == 0 {
+				continue
+			}
+			for _, v := range layer[1:] {
+				if res.InformedAt[v] != res.InformedAt[layer[0]] {
+					t.Fatalf("n=%d d=%d layer %d informed at differing steps", tc.n, tc.d, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCompleteLayeredTimeBound(t *testing.T) {
+	// O(n + D log n): phase 1 is ~2·(lowest layer-1 label), later phases
+	// O(log n) each. Compare against a generous constant.
+	for _, tc := range []struct{ n, d int }{{256, 16}, {256, 64}, {512, 32}} {
+		g := mustLayered(t, tc.n, tc.d)
+		res := mustRun(t, g, CompleteLayered{})
+		bound := 20.0 * (float64(tc.n) + float64(tc.d)*math.Log2(float64(tc.n)))
+		if float64(res.BroadcastTime) > bound {
+			t.Fatalf("n=%d d=%d: time %d above c(n + D log n) = %f", tc.n, tc.d, res.BroadcastTime, bound)
+		}
+	}
+}
+
+func TestCompleteLayeredIrregularLayerSizes(t *testing.T) {
+	g, err := graph.CompleteLayered([]int{7, 1, 13, 2, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, g, CompleteLayered{})
+}
+
+func TestInterleavedCompletesEverywhere(t *testing.T) {
+	src := rng.New(4)
+	p := NewInterleaved(RoundRobin{}, SelectAndSend{})
+	if !p.Deterministic() {
+		t.Fatal("interleave of deterministic protocols not deterministic")
+	}
+	graphs := []*graph.Graph{
+		graph.Path(30),
+		graph.Star(30),
+		graph.Clique(25),
+		graph.GNPConnected(100, 0.05, src),
+		graph.RandomTree(100, src),
+	}
+	for _, g := range graphs {
+		mustRun(t, g, p)
+	}
+}
+
+func TestInterleavedNoSlowerThanTwiceBest(t *testing.T) {
+	// On a short-diameter dense graph, round-robin wins; on a long path,
+	// select-and-send's token wins for large n... here we just check the
+	// structural guarantee: interleaved time <= 2·min(t_A, t_B) + O(1).
+	src := rng.New(5)
+	for _, g := range []*graph.Graph{
+		graph.Star(60),
+		graph.Path(40),
+		graph.GNPConnected(80, 0.1, src),
+	} {
+		tA := mustRun(t, g, RoundRobin{}).BroadcastTime
+		tB := mustRun(t, g, SelectAndSend{}).BroadcastTime
+		ti := mustRun(t, g, NewInterleaved(RoundRobin{}, SelectAndSend{})).BroadcastTime
+		best := tA
+		if tB < best {
+			best = tB
+		}
+		if ti > 2*best+2 {
+			t.Fatalf("interleaved %d > 2·min(%d,%d)+2", ti, tA, tB)
+		}
+	}
+}
+
+func TestDeterministicMarkers(t *testing.T) {
+	for _, p := range []radio.DeterministicProtocol{RoundRobin{}, SelectAndSend{}, CompleteLayered{}} {
+		if !p.Deterministic() {
+			t.Fatalf("%s does not declare determinism", p.Name())
+		}
+	}
+}
+
+func TestSelectAndSendIsReplayIdentical(t *testing.T) {
+	src := rng.New(6)
+	g := graph.GNPConnected(90, 0.06, src)
+	a := mustRun(t, g, SelectAndSend{})
+	b := mustRun(t, g, SelectAndSend{})
+	if a.BroadcastTime != b.BroadcastTime || a.Transmissions != b.Transmissions {
+		t.Fatal("deterministic protocol diverged across runs")
+	}
+}
+
+func TestNoCollisionsDuringSelectAndSendCommands(t *testing.T) {
+	// Commands and token transfers must be collision-free; collisions may
+	// only happen during echo steps. We verify the stronger property that
+	// the source's part-1 schedule works: node j = lowest-labelled neighbor
+	// of 0 is the first token holder, i.e. the first non-source node whose
+	// InformedAt advances... simpler: on a clique the token's first hop is
+	// to label 1.
+	g := graph.Clique(10)
+	var tokenTo []int
+	trace := func(step int, tx []int, rx []radio.Message) {
+		for _, m := range rx {
+			if tc, ok := m.Payload.(tokenCmd); ok {
+				tokenTo = append(tokenTo, tc.To)
+			}
+		}
+	}
+	_, err := radio.Run(g, SelectAndSend{}, radio.Config{},
+		radio.Options{Trace: trace, MaxSteps: 400, RunToMaxSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokenTo) == 0 || tokenTo[0] != 1 {
+		t.Fatalf("first token went to %v, want label 1 first", tokenTo)
+	}
+}

@@ -1,0 +1,112 @@
+package det
+
+import (
+	"math"
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+)
+
+func TestDFSNeighborhoodLinearOnPath(t *testing.T) {
+	// On a path the token walks straight down: node v informed at step v.
+	g := graph.Path(16)
+	res := mustRun(t, g, DFSNeighborhood{})
+	for v, at := range res.InformedAt {
+		if at != v {
+			t.Fatalf("InformedAt[%d] = %d", v, at)
+		}
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("%d collisions in a single-transmitter protocol", res.Collisions)
+	}
+}
+
+func TestDFSNeighborhoodWithinTwoN(t *testing.T) {
+	src := rng.New(1)
+	graphs := []*graph.Graph{
+		graph.Clique(60),
+		graph.Grid(8, 9),
+		graph.GNPConnected(150, 0.04, src),
+		graph.RandomTree(150, src),
+		graph.Star(80),
+		graph.Caterpillar(20, 3),
+	}
+	for _, g := range graphs {
+		res := mustRun(t, g, DFSNeighborhood{})
+		if res.BroadcastTime > 2*g.N() {
+			t.Fatalf("n=%d: time %d exceeds 2n", g.N(), res.BroadcastTime)
+		}
+	}
+}
+
+func TestDFSNeighborhoodBeatsSelectAndSendByLogFactor(t *testing.T) {
+	// The whole point of the stronger model: a ~log n advantage.
+	src := rng.New(2)
+	g := graph.RandomTree(400, src)
+	dfs := mustRun(t, g, DFSNeighborhood{})
+	ss := mustRun(t, g, SelectAndSend{})
+	ratio := float64(ss.BroadcastTime) / float64(dfs.BroadcastTime)
+	if ratio < 2 {
+		t.Fatalf("select-and-send/dfs ratio %.2f; expected a clear log-factor gap", ratio)
+	}
+	if ratio > 20*math.Log2(400) {
+		t.Fatalf("ratio %.2f implausibly large", ratio)
+	}
+}
+
+func TestDFSNeighborhoodDeterministicMarker(t *testing.T) {
+	var p radio.Protocol = DFSNeighborhood{}
+	if _, ok := p.(radio.NeighborAwareProtocol); !ok {
+		t.Fatal("DFSNeighborhood must declare neighborhood awareness")
+	}
+	d, ok := p.(radio.DeterministicProtocol)
+	if !ok || !d.Deterministic() {
+		t.Fatal("DFSNeighborhood must declare determinism")
+	}
+}
+
+func TestDFSNeighborhoodStallsWithoutNeighborKnowledge(t *testing.T) {
+	// Built through plain NewNode (no neighbor lists) the source has no
+	// token bootstrap: nothing ever transmits.
+	prog := DFSNeighborhood{}.NewNode(0, radio.Config{N: 4})
+	for step := 1; step <= 10; step++ {
+		if tx, _ := prog.Act(step); tx {
+			t.Fatal("neighbor-blind program transmitted")
+		}
+	}
+}
+
+func TestDFSTokenVisitedSharingIsSafe(t *testing.T) {
+	// The token's visited set must not be mutated by a node after it was
+	// transmitted onward (Clone on extension). Walk a star: the center
+	// keeps receiving tokens back; each leaf's token must contain exactly
+	// the leaves visited so far.
+	g := graph.Star(6)
+	var tokens []dfsToken
+	trace := func(step int, tx []int, rx []radio.Message) {
+		for _, m := range rx {
+			if tok, ok := m.Payload.(dfsToken); ok {
+				tokens = append(tokens, tok)
+			}
+		}
+	}
+	_, err := radio.Run(g, DFSNeighborhood{}, radio.Config{},
+		radio.Options{Trace: trace, MaxSteps: 100, RunToMaxSteps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visited sets along the walk must be non-decreasing in size.
+	prev := 0
+	for i, tok := range tokens {
+		l := tok.Visited.Len()
+		if l < prev {
+			t.Fatalf("token %d shrank the visited set: %d < %d", i, l, prev)
+		}
+		prev = l
+	}
+	if prev != 6 {
+		t.Fatalf("final visited set has %d of 6 nodes", prev)
+	}
+}

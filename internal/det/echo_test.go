@@ -1,0 +1,197 @@
+package det
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocradio/internal/radio"
+)
+
+// driveCoordinator runs a coordinator against an ideal radio channel over
+// responder set S (labels > 0) with distinguished node w, emulating the
+// collision rule exactly: the coordinator hears a reply iff exactly one
+// responder transmits. It returns the selected label (-1 when S empty) and
+// the number of steps consumed.
+func driveCoordinator(t *testing.T, r int, w int, s map[int]bool, maxSteps int) (int, int) {
+	t.Helper()
+	c := newCoordinator(99, r, w, modeUnvisited, 1)
+	var lastCmd echoCmd
+	for step := 1; step <= maxSteps; step++ {
+		tx, payload := c.act(step)
+		if c.done {
+			if c.sEmpty {
+				return -1, step
+			}
+			return c.selected, step
+		}
+		if tx {
+			cmd, ok := payload.(echoCmd)
+			if !ok {
+				t.Fatalf("coordinator transmitted %T", payload)
+			}
+			lastCmd = cmd
+			continue
+		}
+		// Emulate the channel at echo steps.
+		responders := make([]int, 0, len(s)+1)
+		if step == lastCmd.Step1 || step == lastCmd.Step2 {
+			for label := range s {
+				if label >= lastCmd.Lo && label <= lastCmd.Hi {
+					responders = append(responders, label)
+				}
+			}
+			if step == lastCmd.Step2 && w > 0 && !containsInt(responders, w) {
+				responders = append(responders, w)
+			}
+		}
+		if len(responders) == 1 {
+			c.deliver(step, radio.Message{From: responders[0], Payload: echoReply{Label: responders[0]}})
+		}
+	}
+	t.Fatalf("coordinator did not finish within %d steps (S=%v)", maxSteps, s)
+	return 0, 0
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCoordinatorEmptySet(t *testing.T) {
+	sel, steps := driveCoordinator(t, 63, 7, map[int]bool{}, 100)
+	if sel != -1 {
+		t.Fatalf("selected %d from empty set", sel)
+	}
+	if steps != 4 {
+		t.Fatalf("empty-set visit took %d steps, want 4 (cmd+echo+echo+decide)", steps)
+	}
+}
+
+func TestCoordinatorSingleton(t *testing.T) {
+	sel, steps := driveCoordinator(t, 63, 7, map[int]bool{13: true}, 100)
+	if sel != 13 {
+		t.Fatalf("selected %d, want 13", sel)
+	}
+	if steps != 4 {
+		t.Fatalf("singleton visit took %d steps", steps)
+	}
+}
+
+func TestCoordinatorPair(t *testing.T) {
+	sel, _ := driveCoordinator(t, 63, 7, map[int]bool{3: true, 40: true}, 200)
+	if sel != 3 && sel != 40 {
+		t.Fatalf("selected %d not in S", sel)
+	}
+}
+
+func TestCoordinatorAdjacentLabels(t *testing.T) {
+	// The size-1 Binary-Selection range case: both x and x+1 present.
+	for base := 1; base < 20; base++ {
+		s := map[int]bool{base: true, base + 1: true}
+		sel, _ := driveCoordinator(t, 63, 50, s, 300)
+		if !s[sel] {
+			t.Fatalf("base %d: selected %d not in S", base, sel)
+		}
+	}
+}
+
+func TestCoordinatorSelectsFromAnySet(t *testing.T) {
+	// Property: for any non-empty S ⊆ [1, r], the selected node is in S and
+	// the visit takes O(log r) echoes.
+	f := func(bits uint16, seed uint8) bool {
+		const r = 127
+		s := map[int]bool{}
+		// Spread up to 16 members over [1, r] pseudo-randomly.
+		x := int(seed)%r + 1
+		for i := 0; i < 16; i++ {
+			if bits&(1<<i) != 0 {
+				s[(x*(i+3))%r+1] = true
+			}
+		}
+		w := r // distinguished responder outside typical member range
+		sel, steps := driveCoordinator(t, r, w, s, 1000)
+		if len(s) == 0 {
+			return sel == -1
+		}
+		if !s[sel] {
+			return false
+		}
+		// 3 steps per echo; first echo + ≤ log r doubling + ≤ log r binsel
+		// + decide: generous bound 3·(2·7+2)+4.
+		return steps <= 3*16+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorWInSet(t *testing.T) {
+	// The distinguished node w can itself be in the label range; step 2
+	// then has |A|+1 transmitters. Selection must still land in S.
+	s := map[int]bool{2: true, 3: true, 5: true}
+	sel, _ := driveCoordinator(t, 63, 3, s, 300)
+	if !s[sel] {
+		t.Fatalf("selected %d not in S", sel)
+	}
+}
+
+func TestResponderIgnoresWithoutCommand(t *testing.T) {
+	r := responder{label: 5}
+	if tx, _ := r.act(10, func(*echoCmd) bool { return true }); tx {
+		t.Fatal("responder transmitted without a command")
+	}
+}
+
+func TestResponderFollowsSchedule(t *testing.T) {
+	r := responder{label: 5}
+	r.hear(echoCmd{W: 9, Lo: 1, Hi: 6, Step1: 11, Step2: 12, Mode: modeUnvisited})
+	in := func(*echoCmd) bool { return true }
+	out := func(*echoCmd) bool { return false }
+
+	if tx, _ := r.act(10, in); tx {
+		t.Fatal("transmitted before Step1")
+	}
+	tx, payload := r.act(11, in)
+	if !tx || payload.(echoReply).Label != 5 {
+		t.Fatal("member did not reply at Step1")
+	}
+	if tx, _ := r.act(11, out); tx {
+		t.Fatal("non-member replied at Step1")
+	}
+	if tx, _ := r.act(12, in); !tx {
+		t.Fatal("member did not reply at Step2")
+	}
+	if tx, _ := r.act(13, in); tx {
+		t.Fatal("transmitted after Step2")
+	}
+
+	// Out-of-range label never replies.
+	r2 := responder{label: 50}
+	r2.hear(echoCmd{W: 9, Lo: 1, Hi: 6, Step1: 11, Step2: 12})
+	if tx, _ := r2.act(11, in); tx {
+		t.Fatal("out-of-range label replied")
+	}
+
+	// The distinguished node replies at Step2 even when outside the range
+	// or the set.
+	rw := responder{label: 9}
+	rw.hear(echoCmd{W: 9, Lo: 1, Hi: 6, Step1: 11, Step2: 12})
+	if tx, _ := rw.act(12, out); !tx {
+		t.Fatal("distinguished node silent at Step2")
+	}
+	if tx, _ := rw.act(11, out); tx {
+		t.Fatal("distinguished node replied at Step1")
+	}
+}
+
+func TestEchoReplyIsLabelOnly(t *testing.T) {
+	var p any = echoReply{Label: 3}
+	c, ok := p.(radio.SourceCarrier)
+	if !ok || c.CarriesSourceMessage() {
+		t.Fatal("echoReply must declare it does not carry the source message")
+	}
+}

@@ -1,0 +1,85 @@
+package det
+
+import (
+	"fmt"
+
+	"adhocradio/internal/radio"
+	"adhocradio/internal/sequences"
+)
+
+// ObliviousDecay is a deterministic, oblivious transmission schedule in the
+// spirit of the derandomized Decay protocols for directed networks
+// (Section 1.1's references [8,9,14] build such schedules from selective
+// families): whether the node with label v transmits in step t is a fixed
+// function of (v, t) — here, a seeded hash selecting v with "probability"
+// 2^{-(t mod k)} where k is the ladder length. Informed nodes follow the
+// schedule; nobody adapts to what they hear.
+//
+// Such schedules broadcast on any (directed or undirected) network in
+// O((D + log n)·polylog n) steps for most seeds, need no feedback — and,
+// being oblivious, are the natural victims of the directed layered
+// adversary (lowerbound.BuildDirectedLayered).
+type ObliviousDecay struct {
+	// Seed fixes the schedule. Two instances with the same seed are the
+	// same deterministic protocol.
+	Seed uint64
+}
+
+var _ radio.DeterministicProtocol = ObliviousDecay{}
+
+// Name implements radio.Protocol.
+func (o ObliviousDecay) Name() string { return fmt.Sprintf("oblivious-decay(%d)", o.Seed) }
+
+// Deterministic implements radio.DeterministicProtocol: the schedule is a
+// fixed function of (label, step); the simulation seed is ignored.
+func (o ObliviousDecay) Deterministic() bool { return true }
+
+// NewNode implements radio.Protocol.
+func (o ObliviousDecay) NewNode(label int, cfg radio.Config) radio.NodeProgram {
+	return &oblNode{
+		label:  label,
+		ladder: sequences.CeilLog2(cfg.LabelBound()+1) + 1,
+		seed:   o.Seed,
+	}
+}
+
+type oblNode struct {
+	label  int
+	ladder int
+	seed   uint64
+}
+
+// inSchedule reports whether label v is selected at step t: a hash of
+// (seed, t, v) must land in the lowest 2^{64-l} fraction, i.e. have l
+// leading zero bits, where l = t mod ladder.
+func inSchedule(seed uint64, t, v, ladder int) bool {
+	l := uint(t % ladder)
+	if l == 0 {
+		return true
+	}
+	h := hash3(seed, uint64(t), uint64(v))
+	return h>>(64-l) == 0
+}
+
+// hash3 mixes three words SplitMix-style.
+func hash3(a, b, c uint64) uint64 {
+	x := a ^ 0x9e3779b97f4a7c15
+	x = (x ^ b) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 31) ^ c) * 0x94d049bb133111eb
+	return x ^ (x >> 29)
+}
+
+// Act implements radio.NodeProgram.
+func (n *oblNode) Act(t int) (bool, any) {
+	if inSchedule(n.seed, t, n.label, n.ladder) {
+		return true, oblPayload{}
+	}
+	return false, nil
+}
+
+// Deliver implements radio.NodeProgram: oblivious schedules ignore
+// receptions (beyond the informing effect the simulator handles).
+func (n *oblNode) Deliver(t int, msg radio.Message) {}
+
+// oblPayload is the broadcast message (carries the source message).
+type oblPayload struct{}

@@ -1,0 +1,99 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"adhocradio/internal/core"
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+)
+
+// kpSchedule adapts core.KnownRadiusSchedule to the oracle's Schedule.
+func kpSchedule(t *testing.T, labelBound, knownRadius int) Schedule {
+	t.Helper()
+	view, err := core.KnownRadiusSchedule(labelBound, knownRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Schedule{
+		ProbAt:      view.ProbAt,
+		StageLen:    view.StageLen,
+		StageEndsAt: view.StageEndsAt,
+		SourceOnly:  view.SourceOnly,
+	}
+}
+
+// TestKPSimulationMatchesOracle validates the paper's own procedure
+// Randomized-Broadcasting(D) against the exact distribution oracle: the
+// empirical mean broadcast time of the full per-node implementation
+// (internal/core) must converge to the analytically computed expectation on
+// small topologies. This cross-checks the Stage ladder, the universal-step
+// probabilities, the source-only opening step, and the stage-boundary
+// participation rule, coin for coin.
+func TestKPSimulationMatchesOracle(t *testing.T) {
+	topos := map[string]*graph.Graph{
+		"path5":   graph.Path(5),
+		"star6":   graph.Star(6),
+		"clique5": graph.Clique(5),
+		"chain":   graph.StarChain(1, 3), // one wide hop: n=5
+	}
+	const knownRadius = 4
+	const seeds = 3000
+	for name, g := range topos {
+		sched := kpSchedule(t, g.N()-1, knownRadius)
+		exactRes, err := ExpectedBroadcastTime(g, sched, 3000, 1e-9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total := 0.0
+		for seed := 1; seed <= seeds; seed++ {
+			p := core.NewWithParams(core.Params{KnownRadius: knownRadius})
+			res, err := radio.Run(g, p, radio.Config{Seed: uint64(seed)}, radio.Options{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			total += float64(res.BroadcastTime)
+		}
+		mean := total / seeds
+		tol := 5 * exactRes.ExpectedTime / math.Sqrt(seeds)
+		if tol < 0.25 {
+			tol = 0.25
+		}
+		if math.Abs(mean-exactRes.ExpectedTime) > tol {
+			t.Errorf("%s: simulated mean %.3f vs exact %.3f (tol %.3f)",
+				name, mean, exactRes.ExpectedTime, tol)
+		} else {
+			t.Logf("%s: simulated mean %.3f, exact %.3f", name, mean, exactRes.ExpectedTime)
+		}
+	}
+}
+
+// TestKPScheduleOpeningStep sanity-checks the exposed schedule: step 1 is
+// source-only with probability 1 and an immediate stage boundary.
+func TestKPScheduleOpeningStep(t *testing.T) {
+	sched := kpSchedule(t, 15, 4)
+	if !sched.SourceOnly(1) {
+		t.Fatal("step 1 not source-only")
+	}
+	if sched.ProbAt(1) != 1 {
+		t.Fatalf("ProbAt(1) = %f", sched.ProbAt(1))
+	}
+	if !sched.StageEndsAt(1) {
+		t.Fatal("opening step must promote pending nodes")
+	}
+	if sched.SourceOnly(2) {
+		t.Fatal("step 2 wrongly source-only")
+	}
+	// The first ladder step of stage 1 has probability 1 (l = 0).
+	if sched.ProbAt(2) != 1 {
+		t.Fatalf("ProbAt(2) = %f", sched.ProbAt(2))
+	}
+	// Stage boundaries then recur every StageLen steps.
+	if !sched.StageEndsAt(1 + sched.StageLen) {
+		t.Fatal("first stage boundary misplaced")
+	}
+	if sched.StageEndsAt(2 + sched.StageLen) {
+		t.Fatal("phantom stage boundary")
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E4")
+	if err != nil || e.ID != "E4" {
+		t.Fatalf("ByID(E4) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "longcolumn"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("xyz", "w")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "longcolumn", "2.50", "xyz", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"x", "y"}}
+	tab.AddRow(1, "a,b")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x,y\n1,\"a,b\"\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+// Run every experiment in Quick mode: this is the end-to-end check that the
+// whole reproduction pipeline holds together.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + buf.String())
+		})
+	}
+}
+
+func TestTrialsDefaulting(t *testing.T) {
+	if (Config{}).trials(5) != 5 {
+		t.Fatal("default trials wrong")
+	}
+	if (Config{Trials: 2}).trials(5) != 2 {
+		t.Fatal("explicit trials ignored")
+	}
+	if (Config{Quick: true}).trials(7) != 3 {
+		t.Fatal("quick trials not reduced")
+	}
+	if (Config{Quick: true}).trials(2) != 2 {
+		t.Fatal("quick should not raise small defaults")
+	}
+}

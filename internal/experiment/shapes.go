@@ -1,0 +1,387 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ShapeCheck verifies that a full-scale experiment table exhibits the
+// qualitative behaviour the paper predicts — the executable form of the
+// verdicts in EXPERIMENTS.md. Checks are written for full-scale tables;
+// quick-mode sizes may legitimately fail them.
+type ShapeCheck func(*Table) error
+
+// ShapeChecks maps experiment IDs to their claim checks.
+func ShapeChecks() map[string]ShapeCheck {
+	return map[string]ShapeCheck{
+		"E1":  checkE1,
+		"E2":  checkE2,
+		"E3":  checkE3,
+		"E4":  checkE4,
+		"E5":  checkE5,
+		"E6":  checkE6,
+		"E7":  checkE7,
+		"E8":  checkE8,
+		"E9":  checkE9,
+		"E10": checkE10,
+		"E11": checkE11,
+		"E12": checkE12,
+		"E13": checkE13,
+		"E14": checkE14,
+	}
+}
+
+// cell parses the table cell at (row, column name) as a float.
+func cell(t *Table, row int, col string) (float64, error) {
+	for ci, c := range t.Columns {
+		if c != col {
+			continue
+		}
+		if row < 0 || row >= len(t.Rows) || ci >= len(t.Rows[row]) {
+			return 0, fmt.Errorf("%s: row %d out of range", t.ID, row)
+		}
+		v, err := strconv.ParseFloat(t.Rows[row][ci], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: cell (%d, %s) = %q not numeric", t.ID, row, col, t.Rows[row][ci])
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: no column %q", t.ID, col)
+}
+
+// column parses a whole column.
+func column(t *Table, col string) ([]float64, error) {
+	out := make([]float64, len(t.Rows))
+	for i := range t.Rows {
+		v, err := cell(t, i, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// checkE1: the known-D speedup exceeds 1 everywhere and grows with n.
+func checkE1(t *Table) error {
+	s, err := column(t, "speedup_knownD")
+	if err != nil {
+		return err
+	}
+	for i, v := range s {
+		if v <= 1.0 {
+			return fmt.Errorf("E1: speedup_knownD row %d = %.2f, want > 1", i, v)
+		}
+	}
+	if s[len(s)-1] <= s[0] {
+		return fmt.Errorf("E1: speedup_knownD not growing with n (%.2f -> %.2f)", s[0], s[len(s)-1])
+	}
+	return nil
+}
+
+// checkE2: small-D ratios stay near 1 (no unbounded gap).
+func checkE2(t *Table) error {
+	rs, err := column(t, "ratio")
+	if err != nil {
+		return err
+	}
+	for i, v := range rs {
+		if v < 0.7 || v > 2.5 {
+			return fmt.Errorf("E2: ratio row %d = %.2f outside [0.7, 2.5]", i, v)
+		}
+	}
+	return nil
+}
+
+// checkE3: complete layered at least as hard as random layered once D is
+// large enough for the D·log(n/D) term to dominate.
+func checkE3(t *Table) error {
+	for i := range t.Rows {
+		d, err := cell(t, i, "D")
+		if err != nil {
+			return err
+		}
+		if d < 32 {
+			continue
+		}
+		h, err := cell(t, i, "hardness")
+		if err != nil {
+			return err
+		}
+		if h < 0.95 {
+			return fmt.Errorf("E3: hardness %.2f < 0.95 at D=%.0f", h, d)
+		}
+	}
+	return nil
+}
+
+// checkE4: measured time exceeds the certified bound on every row (the
+// experiment itself errors otherwise, but assert the table agrees), and the
+// bound grows with n within each protocol block.
+func checkE4(t *Table) error {
+	ratios, err := column(t, "t/bound")
+	if err != nil {
+		return err
+	}
+	for i, v := range ratios {
+		if v < 1 {
+			return fmt.Errorf("E4: t/bound row %d = %.2f < 1", i, v)
+		}
+	}
+	bounds, err := column(t, "bound")
+	if err != nil {
+		return err
+	}
+	ns, err := column(t, "n")
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(bounds); i++ {
+		if ns[i] > ns[i-1] && bounds[i] < bounds[i-1] {
+			return fmt.Errorf("E4: bound fell from %.0f to %.0f as n grew", bounds[i-1], bounds[i])
+		}
+	}
+	return nil
+}
+
+// checkE5: per topology, the normalized time varies by at most 2x across
+// the n sweep (flat up to constants).
+func checkE5(t *Table) error {
+	byTopo := map[string][]float64{}
+	for i, row := range t.Rows {
+		v, err := cell(t, i, "t/(n log n)")
+		if err != nil {
+			return err
+		}
+		byTopo[row[0]] = append(byTopo[row[0]], v)
+	}
+	for topo, vs := range byTopo {
+		mn, mx := vs[0], vs[0]
+		for _, v := range vs {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx > 2*mn {
+			return fmt.Errorf("E5: %s normalized time spans [%.2f, %.2f] (> 2x)", topo, mn, mx)
+		}
+	}
+	return nil
+}
+
+// checkE6: t/(n + D log n) bounded; t/(n log D) falls as n grows.
+func checkE6(t *Table) error {
+	mid, err := column(t, "t/(n+D log n)")
+	if err != nil {
+		return err
+	}
+	for i, v := range mid {
+		if v > 6 {
+			return fmt.Errorf("E6: t/(n+D log n) row %d = %.2f too large", i, v)
+		}
+	}
+	last, err := column(t, "t/(n log D)")
+	if err != nil {
+		return err
+	}
+	if last[len(last)-1] >= last[0] {
+		return fmt.Errorf("E6: t/(n log D) did not fall (%.2f -> %.2f)", last[0], last[len(last)-1])
+	}
+	return nil
+}
+
+// checkE7: round-robin wins somewhere in the middle, Select-and-Send wins
+// at the largest D, and the interleaving is never far above the better.
+func checkE7(t *Table) error {
+	var rrWins, ssWinsAtLargeD bool
+	for i, row := range t.Rows {
+		winner := row[len(row)-1]
+		if winner == "round-robin" {
+			rrWins = true
+		}
+		d, err := cell(t, i, "D")
+		if err != nil {
+			return err
+		}
+		if i == len(t.Rows)-1 && d >= 64 && winner == "select-and-send" {
+			ssWinsAtLargeD = true
+		}
+		rr, err := cell(t, i, "t_rr")
+		if err != nil {
+			return err
+		}
+		ss, err := cell(t, i, "t_ss")
+		if err != nil {
+			return err
+		}
+		inter, err := cell(t, i, "t_inter")
+		if err != nil {
+			return err
+		}
+		best := rr
+		if ss < best {
+			best = ss
+		}
+		if inter > 2.5*best+16 {
+			return fmt.Errorf("E7: interleaving %.0f above 2.5x best %.0f at D=%.0f", inter, best, d)
+		}
+	}
+	if !rrWins {
+		return fmt.Errorf("E7: round-robin never won")
+	}
+	if !ssWinsAtLargeD {
+		return fmt.Errorf("E7: select-and-send did not win at the largest D")
+	}
+	return nil
+}
+
+// checkE8: the ablated variant pays at least 5x on every fan-in.
+func checkE8(t *Table) error {
+	ps, err := column(t, "penalty")
+	if err != nil {
+		return err
+	}
+	for i, v := range ps {
+		if v < 5 {
+			return fmt.Errorf("E8: penalty row %d = %.1f < 5", i, v)
+		}
+	}
+	return nil
+}
+
+// checkE9: round-robin uses the fewest transmissions; the randomized
+// algorithms are the fastest.
+func checkE9(t *Table) error {
+	tx := map[string]float64{}
+	times := map[string]float64{}
+	for i, row := range t.Rows {
+		v, err := cell(t, i, "transmissions")
+		if err != nil {
+			return err
+		}
+		tx[row[0]] = v
+		tm, err := cell(t, i, "time")
+		if err != nil {
+			return err
+		}
+		times[row[0]] = tm
+	}
+	for name, v := range tx {
+		if name != "round-robin" && v <= tx["round-robin"] {
+			return fmt.Errorf("E9: %s used %.0f transmissions, not more than round-robin's %.0f", name, v, tx["round-robin"])
+		}
+	}
+	if times["kp-optimal"] >= times["round-robin"] {
+		return fmt.Errorf("E9: kp-optimal (%.0f) not faster than round-robin (%.0f)", times["kp-optimal"], times["round-robin"])
+	}
+	return nil
+}
+
+// checkE10: the Select-and-Send/DFS ratio grows with n and stays within a
+// constant of log2 n.
+func checkE10(t *Table) error {
+	rs, err := column(t, "ratio")
+	if err != nil {
+		return err
+	}
+	logs, err := column(t, "log2 n")
+	if err != nil {
+		return err
+	}
+	if rs[len(rs)-1] <= rs[0] {
+		return fmt.Errorf("E10: ratio not growing (%.2f -> %.2f)", rs[0], rs[len(rs)-1])
+	}
+	for i := range rs {
+		if rs[i] < 0.3*logs[i] || rs[i] > 3*logs[i] {
+			return fmt.Errorf("E10: ratio %.2f not within [0.3, 3]·log2 n (%.2f)", rs[i], logs[i])
+		}
+	}
+	return nil
+}
+
+// checkE11: both stronger models stay linear; the standard model stays
+// n log n.
+func checkE11(t *Table) error {
+	sp, err := column(t, "spont/n")
+	if err != nil {
+		return err
+	}
+	ss, err := column(t, "ss/(n log n)")
+	if err != nil {
+		return err
+	}
+	for i := range sp {
+		if sp[i] < 0.5 || sp[i] > 5 {
+			return fmt.Errorf("E11: spont/n row %d = %.2f outside [0.5, 5]", i, sp[i])
+		}
+		if ss[i] < 0.5 || ss[i] > 5 {
+			return fmt.Errorf("E11: ss/(n log n) row %d = %.2f outside [0.5, 5]", i, ss[i])
+		}
+	}
+	return nil
+}
+
+// checkE12: the directed adversary costs the oblivious schedule at least 5x
+// over the benign placement.
+func checkE12(t *Table) error {
+	sl, err := column(t, "slowdown")
+	if err != nil {
+		return err
+	}
+	for i, v := range sl {
+		if v < 5 {
+			return fmt.Errorf("E12: slowdown row %d = %.1f < 5", i, v)
+		}
+	}
+	return nil
+}
+
+// checkE13: directed and undirected times agree within 25%.
+func checkE13(t *Table) error {
+	rs, err := column(t, "ratio")
+	if err != nil {
+		return err
+	}
+	for i, v := range rs {
+		if v < 0.75 || v > 1.25 {
+			return fmt.Errorf("E13: ratio row %d = %.2f outside [0.75, 1.25]", i, v)
+		}
+	}
+	return nil
+}
+
+// checkE14: the bigger the stage budget, the earlier (and slower-staged)
+// the completing phase: t_factor16 <= t_factor128 <= t_paper4660 up to 15%
+// noise, and the paper configuration lands within 35% of BGI.
+func checkE14(t *Table) error {
+	f16, err := column(t, "t_factor16")
+	if err != nil {
+		return err
+	}
+	f128, err := column(t, "t_factor128")
+	if err != nil {
+		return err
+	}
+	paper, err := column(t, "t_paper4660")
+	if err != nil {
+		return err
+	}
+	bgi, err := column(t, "t_BGI")
+	if err != nil {
+		return err
+	}
+	for i := range f16 {
+		if f16[i] > 1.15*f128[i] || f128[i] > 1.15*paper[i] {
+			return fmt.Errorf("E14 row %d: times not increasing with budget (%.0f, %.0f, %.0f)",
+				i, f16[i], f128[i], paper[i])
+		}
+		ratio := paper[i] / bgi[i]
+		if ratio < 0.65 || ratio > 1.35 {
+			return fmt.Errorf("E14 row %d: paper-constants time %.0f not BGI-like (%.0f)", i, paper[i], bgi[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeChecksCoverEveryExperiment(t *testing.T) {
+	checks := ShapeChecks()
+	for _, e := range Registry() {
+		if _, ok := checks[e.ID]; !ok {
+			t.Errorf("no shape check for %s", e.ID)
+		}
+	}
+	if len(checks) != len(Registry()) {
+		t.Errorf("%d checks for %d experiments", len(checks), len(Registry()))
+	}
+}
+
+func TestCellParsing(t *testing.T) {
+	tab := &Table{ID: "T", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	if v, err := cell(tab, 0, "b"); err != nil || v != 2.5 {
+		t.Fatalf("cell = %v, %v", v, err)
+	}
+	if _, err := cell(tab, 0, "zzz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := cell(tab, 5, "a"); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	tab.AddRow("notanumber", 1)
+	if _, err := cell(tab, 1, "a"); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+	col, err := column(tab, "b")
+	if err != nil || len(col) != 2 {
+		t.Fatalf("column = %v, %v", col, err)
+	}
+}
+
+func TestShapeCheckRejectsBadTables(t *testing.T) {
+	// A hand-built E1 table with a speedup below 1 must fail.
+	tab := &Table{ID: "E1", Columns: []string{"n", "D", "t_KP_knownD", "t_KP", "t_BGI", "speedup_knownD", "speedup", "model_speedup"}}
+	tab.AddRow(1024, 64, 500.0, 600.0, 450.0, 0.9, 0.75, 2.0)
+	err := checkE1(tab)
+	if err == nil || !strings.Contains(err.Error(), "want > 1") {
+		t.Fatalf("bad E1 accepted: %v", err)
+	}
+}
+
+// TestFullScaleShapes runs every experiment at FULL scale and asserts the
+// paper's qualitative claims hold — the executable form of EXPERIMENTS.md.
+// Takes about a minute; skipped under -short.
+func TestFullScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiments take ~1 minute")
+	}
+	checks := ShapeChecks()
+	cfg := Config{Seed: 1}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s: row %d has %d cells for %d columns", e.ID, i, len(row), len(tab.Columns))
+				}
+			}
+			if err := checks[e.ID](tab); err != nil {
+				t.Errorf("shape violated: %v", err)
+			}
+		})
+	}
+}

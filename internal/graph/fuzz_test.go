@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that everything it
+// accepts round-trips to an identical encoding.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("nodes 3 undirected\n0 1\n1 2\n")
+	f.Add("nodes 2 directed\n0 1\n")
+	f.Add("# comment\nnodes 1 undirected\n")
+	f.Add("nodes 4 undirected\n0 1\n0 2\n0 3\n")
+	f.Add("garbage")
+	f.Add("nodes 99999999999999999999 undirected\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.Edges() != g.Edges() {
+			t.Fatalf("round trip changed shape")
+		}
+		if err := back.Validate(); err != nil && err != ErrNotBroadcastable {
+			t.Fatalf("parsed graph structurally invalid: %v", err)
+		}
+	})
+}

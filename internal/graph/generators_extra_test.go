@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"testing"
+
+	"adhocradio/internal/rng"
+)
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.Radius(); r != 4 {
+		t.Fatalf("radius %d", r)
+	}
+	for v := 0; v < 8; v++ {
+		if g.OutDegree(v) != 2 {
+			t.Fatalf("degree of %d is %d", v, g.OutDegree(v))
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("cycle of 2 accepted")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g, err := Wheel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.Radius(); r != 1 {
+		t.Fatalf("radius %d", r)
+	}
+	if g.OutDegree(0) != 6 {
+		t.Fatalf("hub degree %d", g.OutDegree(0))
+	}
+	for v := 1; v < 7; v++ {
+		if g.OutDegree(v) != 3 {
+			t.Fatalf("rim degree of %d is %d", v, g.OutDegree(v))
+		}
+	}
+	if _, err := Wheel(3); err == nil {
+		t.Fatal("wheel of 3 accepted")
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g, err := CompleteBinaryTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 15 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.Radius(); r != 3 {
+		t.Fatalf("radius %d", r)
+	}
+	if g.Edges() != 2*14 {
+		t.Fatalf("arcs %d", g.Edges())
+	}
+	if _, err := CompleteBinaryTree(0); err == nil {
+		t.Fatal("0 levels accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.Radius(); r != 4 {
+		t.Fatalf("radius %d", r)
+	}
+	for v := 0; v < 16; v++ {
+		if g.OutDegree(v) != 4 {
+			t.Fatalf("degree of %d is %d", v, g.OutDegree(v))
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g, err := Barbell(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Radius: source in left clique; farthest right-clique node at
+	// 1 (clique) + bridge + 1 = 5.
+	if r, _ := g.Radius(); r != 5 {
+		t.Fatalf("radius %d", r)
+	}
+	if _, err := Barbell(1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	// bridge=1: the cliques share an edge path of one hop.
+	g2, err := Barbell(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 6 {
+		t.Fatalf("bridge-1 n = %d", g2.N())
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	src := rng.New(11)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {50, 3}, {16, 5}} {
+		if tc.n*tc.d%2 != 0 {
+			continue
+		}
+		g, err := RandomRegular(tc.n, tc.d, src)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.OutDegree(v) != tc.d {
+				t.Fatalf("(%d,%d): degree of %d is %d", tc.n, tc.d, v, g.OutDegree(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	src := rng.New(12)
+	if _, err := RandomRegular(5, 3, src); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, src); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+	if _, err := RandomRegular(6, 0, src); err == nil {
+		t.Fatal("d = 0 accepted")
+	}
+}
+
+func TestWorstLabelCompleteLayered(t *testing.T) {
+	g, err := WorstLabelCompleteLayered(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.IsCompleteLayered()
+	if err != nil || !ok {
+		t.Fatalf("not complete layered: %v %v", ok, err)
+	}
+	layers, err := g.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1 must hold the top labels.
+	s := len(layers[1])
+	for _, v := range layers[1] {
+		if v < 40-s {
+			t.Fatalf("layer 1 contains low label %d", v)
+		}
+	}
+	if _, err := WorstLabelCompleteLayered(5, 10); err == nil {
+		t.Fatal("impossible layering accepted")
+	}
+}

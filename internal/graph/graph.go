@@ -1,0 +1,344 @@
+// Package graph provides the network topologies the radio model runs on.
+//
+// Networks are directed multigraph-free graphs over labels 0..n-1 with node 0
+// as the broadcast source, matching the paper's model (Section 1.3): labels
+// come from {0,...,r} with r linear in n, and the source carries label 0.
+// Undirected networks are represented as symmetric directed graphs, which is
+// exactly how Section 2 of the paper treats them ("undirected graphs can be
+// considered as directed with every edge replaced by two directed edges").
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph on nodes 0..N-1. Out[v] lists the nodes whose
+// receivers are reachable from v's transmitter; In[v] lists the nodes whose
+// transmissions can reach v. For undirected graphs the two coincide.
+type Graph struct {
+	n          int
+	out        [][]int
+	in         [][]int
+	undirected bool
+}
+
+// New returns an empty graph with n nodes and no edges. undirected selects
+// whether AddEdge inserts symmetric arcs.
+func New(n int, undirected bool) *Graph {
+	return &Graph{
+		n:          n,
+		out:        make([][]int, n),
+		in:         make([][]int, n),
+		undirected: undirected,
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Undirected reports whether the graph was built symmetric.
+func (g *Graph) Undirected() bool { return g.undirected }
+
+// Out returns the out-neighbors of v. The slice is owned by the graph and
+// must not be modified.
+func (g *Graph) Out(v int) []int { return g.out[v] }
+
+// In returns the in-neighbors of v. The slice is owned by the graph and must
+// not be modified.
+func (g *Graph) In(v int) []int { return g.in[v] }
+
+// OutDegree returns |Out(v)|.
+func (g *Graph) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns |In(v)|.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// Edges returns the number of directed arcs (an undirected edge counts as 2).
+func (g *Graph) Edges() int {
+	m := 0
+	for _, adj := range g.out {
+		m += len(adj)
+	}
+	return m
+}
+
+// AddEdge inserts the arc u->v (and v->u when the graph is undirected).
+// Self-loops and duplicate arcs are rejected with an error: the radio model
+// has no use for either, and silently ignoring them hides generator bugs.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.addArc(u, v)
+	if g.undirected {
+		g.addArc(v, u)
+	}
+	return nil
+}
+
+// MustAddEdge is AddEdge for generators whose edges are correct by
+// construction; it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) addArc(u, v int) {
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+}
+
+// removeEdge deletes the undirected edge {u, v}; generators use it for
+// degree-preserving swaps. It assumes the edge exists.
+func (g *Graph) removeEdge(u, v int) {
+	g.out[u] = removeValue(g.out[u], v)
+	g.in[v] = removeValue(g.in[v], u)
+	if g.undirected {
+		g.out[v] = removeValue(g.out[v], u)
+		g.in[u] = removeValue(g.in[u], v)
+	}
+}
+
+func removeValue(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			xs[i] = xs[len(xs)-1]
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}
+
+// HasEdge reports whether the arc u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	// Scan the shorter list.
+	if len(g.out[u]) <= len(g.in[v]) {
+		for _, w := range g.out[u] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range g.in[v] {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}
+
+// SortAdjacency orders every adjacency list ascending, giving deterministic
+// iteration independent of insertion order.
+func (g *Graph) SortAdjacency() {
+	for v := 0; v < g.n; v++ {
+		sort.Ints(g.out[v])
+		sort.Ints(g.in[v])
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n, g.undirected)
+	for v := 0; v < g.n; v++ {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// BFSLayers returns, for each node, its distance from the source (node 0)
+// following out-arcs, and the number of reachable nodes. Unreachable nodes
+// get distance -1.
+func (g *Graph) BFSLayers() (dist []int, reachable int) {
+	dist = make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.n == 0 {
+		return dist, 0
+	}
+	dist[0] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, 0)
+	reachable = 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				reachable++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, reachable
+}
+
+// Radius returns the eccentricity of the source: the largest distance from
+// node 0 to any node (the paper's parameter D). It returns an error if some
+// node is unreachable from the source, since broadcast is then impossible.
+func (g *Graph) Radius() (int, error) {
+	dist, reachable := g.BFSLayers()
+	if reachable != g.n {
+		return 0, fmt.Errorf("graph: only %d of %d nodes reachable from source", reachable, g.n)
+	}
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Layers groups nodes by BFS distance from the source: Layers()[j] is the
+// paper's "jth layer". It returns an error if the graph is not fully
+// reachable.
+func (g *Graph) Layers() ([][]int, error) {
+	dist, reachable := g.BFSLayers()
+	if reachable != g.n {
+		return nil, fmt.Errorf("graph: only %d of %d nodes reachable from source", reachable, g.n)
+	}
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	layers := make([][]int, maxD+1)
+	for v, d := range dist {
+		layers[d] = append(layers[d], v)
+	}
+	for _, l := range layers {
+		sort.Ints(l)
+	}
+	return layers, nil
+}
+
+// ErrNotBroadcastable is returned by Validate when some node cannot receive
+// the source message.
+var ErrNotBroadcastable = errors.New("graph: not all nodes reachable from source")
+
+// Validate checks structural invariants: adjacency symmetry for undirected
+// graphs, in/out consistency, no self-loops or duplicates, and that every
+// node is reachable from the source.
+func (g *Graph) Validate() error {
+	for v := 0; v < g.n; v++ {
+		seen := make(map[int]bool, len(g.out[v]))
+		for _, w := range g.out[v] {
+			if w < 0 || w >= g.n {
+				return fmt.Errorf("graph: arc (%d,%d) out of range", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: duplicate arc (%d,%d)", v, w)
+			}
+			seen[w] = true
+			if !contains(g.in[w], v) {
+				return fmt.Errorf("graph: arc (%d,%d) missing from in-list of %d", v, w, w)
+			}
+			if g.undirected && !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: undirected graph missing reverse arc (%d,%d)", w, v)
+			}
+		}
+		for _, w := range g.in[v] {
+			if !contains(g.out[w], v) {
+				return fmt.Errorf("graph: in-arc (%d,%d) missing from out-list of %d", w, v, w)
+			}
+		}
+	}
+	if _, reachable := g.BFSLayers(); reachable != g.n {
+		return ErrNotBroadcastable
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCompleteLayered reports whether the graph is a complete layered network
+// in the paper's sense (Section 4.3): the edge set is exactly
+// {{x,y} : x in L_i, y in L_{i+1}} for the BFS layers L_i.
+func (g *Graph) IsCompleteLayered() (bool, error) {
+	layers, err := g.Layers()
+	if err != nil {
+		return false, err
+	}
+	wantEdges := 0
+	for i := 0; i+1 < len(layers); i++ {
+		wantEdges += len(layers[i]) * len(layers[i+1])
+		for _, u := range layers[i] {
+			for _, v := range layers[i+1] {
+				if !g.HasEdge(u, v) {
+					return false, nil
+				}
+				if g.undirected && !g.HasEdge(v, u) {
+					return false, nil
+				}
+			}
+		}
+	}
+	factor := 1
+	if g.undirected {
+		factor = 2
+	}
+	return g.Edges() == factor*wantEdges, nil
+}
+
+// Degrees returns (min, max, mean) out-degree.
+func (g *Graph) Degrees() (min, max int, mean float64) {
+	if g.n == 0 {
+		return 0, 0, 0
+	}
+	min = g.n
+	total := 0
+	for v := 0; v < g.n; v++ {
+		d := len(g.out[v])
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		total += d
+	}
+	return min, max, float64(total) / float64(g.n)
+}
+
+// Stats describes a graph in one line for logs and experiment tables.
+func (g *Graph) Stats() string {
+	d, err := g.Radius()
+	rad := "∞"
+	if err == nil {
+		rad = fmt.Sprintf("%d", d)
+	}
+	mn, mx, mean := g.Degrees()
+	kind := "directed"
+	if g.undirected {
+		kind = "undirected"
+	}
+	return fmt.Sprintf("%s n=%d arcs=%d radius=%s deg[min=%d max=%d mean=%.1f]",
+		kind, g.n, g.Edges(), rad, mn, mx, mean)
+}

@@ -1,0 +1,173 @@
+// Package lowerbound implements the Section 3 adversary: given any
+// deterministic broadcasting algorithm A, it constructs an n-node network
+// G_A of radius Θ(D) on which A needs Ω(n·log n / log(n/D)) steps, by
+// combining the jamming function over shrinking candidate blocks with a
+// witness that the observed transmit-set family is not selective.
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocradio/internal/bitset"
+)
+
+// jamAnswer is the value of function (i+1)-Jamming_l(Y_l): either no
+// candidate transmits (jamSilent), exactly one does (jamSingle, with the
+// node), or at least two do (jamCollision).
+type jamAnswer int
+
+const (
+	jamSilent jamAnswer = iota + 1
+	jamSingle
+	jamCollision
+)
+
+func (a jamAnswer) String() string {
+	switch a {
+	case jamSilent:
+		return "0"
+	case jamSingle:
+		return "v"
+	case jamCollision:
+		return "⊥"
+	default:
+		return "?"
+	}
+}
+
+// jammer maintains the blocks B_l(p) of one stage and evaluates the jamming
+// function step by step. Blocks only ever shrink, and every block keeps at
+// least two elements; blocks of size >= k form the active set A_l.
+type jammer struct {
+	k      int
+	blocks []*bitset.Set
+	steps  int
+}
+
+// newJammer partitions the candidate pool into k/2 balanced blocks
+// ({B(p)}, |B(p)| ≈ 2m/k).
+func newJammer(candidates []int, k int) (*jammer, error) {
+	numBlocks := k / 2
+	if numBlocks < 1 {
+		return nil, fmt.Errorf("lowerbound: k=%d leaves no blocks", k)
+	}
+	if len(candidates) < 2*numBlocks {
+		return nil, fmt.Errorf("lowerbound: %d candidates cannot fill %d blocks with >= 2 elements",
+			len(candidates), numBlocks)
+	}
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	j := &jammer{k: k, blocks: make([]*bitset.Set, numBlocks)}
+	for p := range j.blocks {
+		j.blocks[p] = bitset.New(0)
+	}
+	for idx, c := range sorted {
+		j.blocks[idx%numBlocks].Add(c)
+	}
+	return j, nil
+}
+
+// active reports whether block p is in A_l (|B_l(p)| >= k).
+func (j *jammer) active(p int) bool { return j.blocks[p].Len() >= j.k }
+
+// shrinkToTwo replaces block p by its two smallest elements, per "we choose
+// two elements v, w ∈ B_l(p) and set B_l(p) := {v, w}".
+func (j *jammer) shrinkToTwo(p int) {
+	b := j.blocks[p]
+	first := b.Min()
+	rest := -1
+	b.ForEach(func(e int) bool {
+		if e != first {
+			rest = e
+			return false
+		}
+		return true
+	})
+	nb := bitset.New(0)
+	nb.Add(first)
+	if rest >= 0 {
+		nb.Add(rest)
+	}
+	j.blocks[p] = nb
+}
+
+// step evaluates (i+1)-Jamming_l(Y_l), mutating the blocks, and returns the
+// answer (with the single transmitter when the answer is jamSingle).
+func (j *jammer) step(y *bitset.Set) (jamAnswer, int) {
+	j.steps++
+	// Case 2.A: some active block is hit in more than a 2/k fraction.
+	for p := range j.blocks {
+		if !j.active(p) {
+			continue
+		}
+		b := j.blocks[p]
+		hit := b.IntersectionCount(y)
+		if hit*j.k > 2*b.Len() {
+			b.Intersect(y)
+			if b.Len() < j.k {
+				j.shrinkToTwo(p)
+			}
+			return jamCollision, -1
+		}
+	}
+	// Case 2.B: remove Y from every active block...
+	for p := range j.blocks {
+		if !j.active(p) {
+			continue
+		}
+		j.blocks[p].Subtract(y)
+		if j.blocks[p].Len() < j.k {
+			j.shrinkToTwo(p)
+		}
+	}
+	// ...then answer from the union of the now-inactive blocks.
+	var single int
+	count := 0
+	for p := range j.blocks {
+		if j.active(p) {
+			continue
+		}
+		j.blocks[p].ForEach(func(e int) bool {
+			if y.Contains(e) {
+				count++
+				single = e
+			}
+			return count < 2
+		})
+		if count >= 2 {
+			break
+		}
+	}
+	switch {
+	case count == 0:
+		return jamSilent, -1
+	case count == 1:
+		return jamSingle, single
+	default:
+		return jamCollision, -1
+	}
+}
+
+// largestBlock returns the index and size of the largest block.
+func (j *jammer) largestBlock() (int, int) {
+	best, size := -1, -1
+	for p, b := range j.blocks {
+		if l := b.Len(); l > size {
+			best, size = p, l
+		}
+	}
+	return best, size
+}
+
+// pickTwo returns the two smallest elements of block p.
+func (j *jammer) pickTwo(p int) [2]int {
+	var out [2]int
+	i := 0
+	j.blocks[p].ForEach(func(e int) bool {
+		out[i] = e
+		i++
+		return i < 2
+	})
+	return out
+}

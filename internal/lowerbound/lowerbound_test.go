@@ -1,0 +1,330 @@
+package lowerbound
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/bitset"
+	"adhocradio/internal/det"
+	"adhocradio/internal/radio"
+)
+
+func setOf(elements ...int) *bitset.Set {
+	s := bitset.New(0)
+	for _, e := range elements {
+		s.Add(e)
+	}
+	return s
+}
+
+func TestJammerBlockSetup(t *testing.T) {
+	cands := make([]int, 40)
+	for i := range cands {
+		cands[i] = i + 10
+	}
+	j, err := newJammer(cands, 8) // 4 blocks of 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p, b := range j.blocks {
+		if b.Len() != 10 {
+			t.Fatalf("block %d size %d", p, b.Len())
+		}
+		total += b.Len()
+	}
+	if total != 40 {
+		t.Fatalf("blocks cover %d elements", total)
+	}
+}
+
+func TestJammerRejectsTinyPools(t *testing.T) {
+	if _, err := newJammer([]int{1, 2, 3}, 8); err == nil {
+		t.Fatal("tiny pool accepted")
+	}
+	if _, err := newJammer([]int{1, 2}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestJammerSilentAndSingle(t *testing.T) {
+	cands := make([]int, 16)
+	for i := range cands {
+		cands[i] = i
+	}
+	j, err := newJammer(cands, 4) // 2 blocks of 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty Y: case 2.B, nothing removed, no inactive blocks yet -> silent.
+	ans, _ := j.step(bitset.New(16))
+	if ans != jamSilent {
+		t.Fatalf("empty Y answered %v", ans)
+	}
+	// A heavy hit on block 0 (> 2/k = 1/2 of it): case 2.A -> collision,
+	// block intersected with Y.
+	y := setOf(0, 2, 4, 6, 8) // block 0 holds even labels 0..14
+	ans, _ = j.step(y)
+	if ans != jamCollision {
+		t.Fatalf("heavy hit answered %v", ans)
+	}
+	if j.blocks[0].Len() != 5 {
+		t.Fatalf("block 0 size %d after intersect", j.blocks[0].Len())
+	}
+	// Now block 0 has 5 >= k=4 elements {0,2,4,6,8}. A light hit that
+	// removes two of them (2/5 <= 1/2) shrinks it below k -> becomes {x,y}.
+	ans, _ = j.step(setOf(0, 2))
+	if ans != jamCollision && ans != jamSilent {
+		// After removal block 0 = {4,6,8} < k -> shrink to two smallest
+		// {4,6}; Y ∩ inactive blocks = {0,2} ∩ {4,6} = ∅ -> silent.
+		t.Fatalf("light hit answered %v", ans)
+	}
+	if j.blocks[0].Len() != 2 {
+		t.Fatalf("block 0 not shrunk to 2: %v", j.blocks[0])
+	}
+	// A transmission by exactly one member of the now-inactive block is
+	// reported as the single transmitter.
+	member := j.blocks[0].Min()
+	ans, v := j.step(setOf(member))
+	if ans != jamSingle || v != member {
+		t.Fatalf("singleton answered %v/%d", ans, v)
+	}
+}
+
+func TestJammerBlocksNeverBelowTwo(t *testing.T) {
+	cands := make([]int, 64)
+	for i := range cands {
+		cands[i] = i
+	}
+	j, err := newJammer(cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial Y sequence: hammer everything repeatedly.
+	for step := 0; step < 50; step++ {
+		y := bitset.New(64)
+		for e := step % 3; e < 64; e += 2 {
+			y.Add(e)
+		}
+		j.step(y)
+		for p, b := range j.blocks {
+			if b.Len() < 2 {
+				t.Fatalf("step %d: block %d shrank to %d", step, p, b.Len())
+			}
+		}
+	}
+}
+
+func TestBuildParameterValidation(t *testing.T) {
+	rr := det.RoundRobin{}
+	cases := []struct {
+		params Params
+		want   string
+	}{
+		{Params{N: 512, D: 33}, "even"},
+		{Params{N: 512, D: 2}, "even and >= 4"},
+		{Params{N: 20, D: 16}, "too small"},
+		{Params{N: 512, D: 32}, "outside the window"},
+	}
+	for _, c := range cases {
+		_, err := Build(rr, c.params)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Build(%+v) err = %v, want containing %q", c.params, err, c.want)
+		}
+	}
+}
+
+func TestBuildRejectsRandomized(t *testing.T) {
+	_, err := Build(fakeDet{deterministic: false}, Params{N: 512, D: 32, Force: true})
+	if err == nil {
+		t.Fatal("non-deterministic protocol accepted")
+	}
+}
+
+// fakeDet is a protocol whose source never transmits; Build must detect the
+// stall.
+type fakeDet struct{ deterministic bool }
+
+func (fakeDet) Name() string          { return "silent" }
+func (f fakeDet) Deterministic() bool { return f.deterministic }
+func (fakeDet) NewNode(label int, cfg radio.Config) radio.NodeProgram {
+	return silentNode{}
+}
+
+type silentNode struct{}
+
+func (silentNode) Act(t int) (bool, any)          { return false, nil }
+func (silentNode) Deliver(t int, m radio.Message) {}
+
+func TestBuildDetectsStall(t *testing.T) {
+	_, err := Build(fakeDet{deterministic: true}, Params{N: 256, D: 16, Force: true, MaxWaitSteps: 200})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func buildFor(t *testing.T, p radio.DeterministicProtocol, n, d int) *Construction {
+	t.Helper()
+	c, err := Build(p, Params{N: n, D: d, Force: true})
+	if err != nil {
+		t.Fatalf("Build vs %s: %v", p.Name(), err)
+	}
+	return c
+}
+
+func TestBuildAgainstRoundRobinStructure(t *testing.T) {
+	const n, d = 512, 32
+	c := buildFor(t, det.RoundRobin{}, n, d)
+
+	if err := c.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.G.N() != n+1 {
+		t.Fatalf("graph has %d nodes", c.G.N())
+	}
+	r, err := c.G.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != d {
+		t.Fatalf("radius %d, want %d", r, d)
+	}
+	if len(c.Layers) != d/2 {
+		t.Fatalf("%d odd layers, want %d", len(c.Layers), d/2)
+	}
+	for i, layer := range c.Layers {
+		if len(layer.Star) == 0 || len(layer.Star) > c.K {
+			t.Fatalf("layer %d: |L*| = %d", i, len(layer.Star))
+		}
+		if len(layer.Prime) != c.K-2 {
+			t.Fatalf("layer %d: |L'| = %d, want k-2 = %d", i, len(layer.Prime), c.K-2)
+		}
+	}
+	if len(c.LastLayer) == 0 {
+		t.Fatal("empty last layer")
+	}
+
+	// Layer structure: node i connects to all of L_{2i+1}; only L* connects
+	// onward.
+	for i, layer := range c.Layers {
+		for _, w := range append(append([]int(nil), layer.Prime...), layer.Star...) {
+			if !c.G.HasEdge(i, w) {
+				t.Fatalf("missing edge (%d,%d)", i, w)
+			}
+		}
+		if i+1 < d/2 {
+			for _, w := range layer.Star {
+				if !c.G.HasEdge(w, i+1) {
+					t.Fatalf("missing forward edge (%d,%d)", w, i+1)
+				}
+			}
+			for _, w := range layer.Prime {
+				if c.G.HasEdge(w, i+1) {
+					t.Fatalf("L' node %d wrongly connected forward", w)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildJammingDelaysEveryStage(t *testing.T) {
+	c := buildFor(t, det.RoundRobin{}, 512, 32)
+	if len(c.TBound) != c.D/2 {
+		t.Fatalf("TBound has %d entries", len(c.TBound))
+	}
+	for i := 1; i < len(c.TBound); i++ {
+		if c.TBound[i] < c.TBound[i-1]+c.LMax {
+			t.Fatalf("stage %d advanced too fast: t_%d=%d t_%d=%d lmax=%d",
+				i, i-1, c.TBound[i-1], i, c.TBound[i], c.LMax)
+		}
+	}
+	if c.TBound[len(c.TBound)-1] < c.LowerBoundSteps() {
+		t.Fatalf("final bound %d below guaranteed %d", c.TBound[len(c.TBound)-1], c.LowerBoundSteps())
+	}
+}
+
+func TestLemma9RoundRobin(t *testing.T) {
+	c := buildFor(t, det.RoundRobin{}, 512, 32)
+	res, err := VerifyRealRun(det.RoundRobin{}, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("real run incomplete")
+	}
+	if res.BroadcastTime < c.LowerBoundSteps() {
+		t.Fatalf("real broadcast time %d below the constructed bound %d",
+			res.BroadcastTime, c.LowerBoundSteps())
+	}
+}
+
+func TestLemma9SelectAndSend(t *testing.T) {
+	c := buildFor(t, det.SelectAndSend{}, 512, 32)
+	res, err := VerifyRealRun(det.SelectAndSend{}, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("real run incomplete")
+	}
+	if res.BroadcastTime < c.LowerBoundSteps() {
+		t.Fatalf("real broadcast time %d below the constructed bound %d",
+			res.BroadcastTime, c.LowerBoundSteps())
+	}
+}
+
+func TestLemma9Interleaved(t *testing.T) {
+	p := det.NewInterleaved(det.RoundRobin{}, det.SelectAndSend{})
+	c := buildFor(t, p, 384, 24)
+	if _, err := VerifyRealRun(p, c, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversaryIsProtocolSpecific(t *testing.T) {
+	// The network built against round-robin should (usually) differ from
+	// the one built against select-and-send: the adversary adapts.
+	a := buildFor(t, det.RoundRobin{}, 384, 24)
+	b := buildFor(t, det.SelectAndSend{}, 384, 24)
+	same := true
+	for i := range a.Layers {
+		if len(a.Layers[i].Star) != len(b.Layers[i].Star) {
+			same = false
+			break
+		}
+		for j := range a.Layers[i].Star {
+			if a.Layers[i].Star[j] != b.Layers[i].Star[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("warning: adversarial networks coincide for both protocols (possible, but suspicious)")
+	}
+}
+
+func TestLowerBoundSlowsDownVersusBenign(t *testing.T) {
+	// The whole point: the adversarial network must be much slower for the
+	// attacked algorithm than a benign network of the same n and D.
+	const n, d = 512, 32
+	c := buildFor(t, det.RoundRobin{}, n, d)
+	adv, err := VerifyRealRun(det.RoundRobin{}, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benign comparison: a complete layered network with the same n, D.
+	// Round-robin completes it in about D rounds of length R+1... both are
+	// Θ(nD) for round-robin, so compare select-and-send instead, which is
+	// O(n log n) benign but forced above (D/2-1)·LMax here.
+	cs := buildFor(t, det.SelectAndSend{}, n, d)
+	advSS, err := VerifyRealRun(det.SelectAndSend{}, cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advSS.BroadcastTime < cs.LowerBoundSteps() {
+		t.Fatalf("select-and-send beat the bound: %d < %d", advSS.BroadcastTime, cs.LowerBoundSteps())
+	}
+	_ = adv
+}

@@ -1,0 +1,134 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"adhocradio/internal/det"
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+)
+
+// TestAdversarySweep property-checks the Theorem 2 construction across a
+// randomized sweep of parameters and victims: every build must validate,
+// satisfy the executable Lemma 9, and exceed its certified bound. This is
+// the broad-net test that catches consistency bugs the targeted tests miss.
+func TestAdversarySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes a few seconds")
+	}
+	src := rng.New(31337)
+	victims := []radio.DeterministicProtocol{
+		det.RoundRobin{},
+		det.SelectAndSend{},
+		det.NewInterleaved(det.RoundRobin{}, det.SelectAndSend{}),
+		det.ObliviousDecay{Seed: 9},
+	}
+	for trial := 0; trial < 8; trial++ {
+		d := 2 * (4 + src.Intn(15)) // even D in [8, 36]
+		n := d * (16 + src.Intn(10))
+		p := victims[trial%len(victims)]
+		c, err := Build(p, Params{N: n, D: d, Force: true})
+		if err != nil {
+			t.Fatalf("trial %d (%s, n=%d, D=%d): %v", trial, p.Name(), n, d, err)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r, err := c.G.Radius(); err != nil || r != d {
+			t.Fatalf("trial %d: radius %d (%v), want %d", trial, r, err, d)
+		}
+		res, err := VerifyRealRun(p, c, 0)
+		if err != nil {
+			t.Fatalf("trial %d (%s, n=%d, D=%d): %v", trial, p.Name(), n, d, err)
+		}
+		if res.BroadcastTime < c.LowerBoundSteps() {
+			t.Fatalf("trial %d: time %d below bound %d", trial, res.BroadcastTime, c.LowerBoundSteps())
+		}
+	}
+}
+
+// TestDirectedAdversarySweep is the analogous sweep for the directed game.
+func TestDirectedAdversarySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes a few seconds")
+	}
+	src := rng.New(424242)
+	victims := []radio.DeterministicProtocol{
+		det.RoundRobin{},
+		det.ObliviousDecay{Seed: 1},
+		det.ObliviousDecay{Seed: 2},
+	}
+	for trial := 0; trial < 6; trial++ {
+		d := 3 + src.Intn(8)
+		n := d * (10 + src.Intn(20))
+		p := victims[trial%len(victims)]
+		c, err := BuildDirectedLayered(p, DirectedParams{N: n, D: d})
+		if err != nil {
+			t.Fatalf("trial %d (%s, n=%d, D=%d): %v", trial, p.Name(), n, d, err)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := VerifyDirectedRealRun(p, c, 0); err != nil {
+			t.Fatalf("trial %d (%s, n=%d, D=%d): %v", trial, p.Name(), n, d, err)
+		}
+	}
+}
+
+func TestConstructionReport(t *testing.T) {
+	c, err := Build(det.RoundRobin{}, Params{N: 256, D: 16, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	for _, want := range []string{"radius 16", "k=4", "certified", "odd layers: 8", "jamming answers"} {
+		if !contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+	if c.JamSilent+c.JamSingle+c.JamCollision != c.LMax*c.D/2 {
+		t.Fatalf("jam answers %d+%d+%d do not cover %d jamming steps",
+			c.JamSilent, c.JamSingle, c.JamCollision, c.LMax*c.D/2)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAdversaryRespectsProgramContract drives both adversaries with
+// contract-checked victims: the builders' abstract replay must obey the
+// same Act/Deliver discipline as the real simulator (once per step,
+// increasing steps, no delivery to transmitters, no act-before-informed).
+func TestAdversaryRespectsProgramContract(t *testing.T) {
+	var violations []error
+	report := func(err error) { violations = append(violations, err) }
+
+	wrapped, ok := radio.WithContractChecks(det.SelectAndSend{}, report).(radio.DeterministicProtocol)
+	if !ok {
+		t.Fatal("contract wrapper lost determinism marker")
+	}
+	if _, err := Build(wrapped, Params{N: 256, D: 16, Force: true}); err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("Theorem 2 builder violated the program contract: %v", violations[0])
+	}
+
+	violations = nil
+	wrappedRR, ok := radio.WithContractChecks(det.RoundRobin{}, report).(radio.DeterministicProtocol)
+	if !ok {
+		t.Fatal("contract wrapper lost determinism marker")
+	}
+	if _, err := BuildDirectedLayered(wrappedRR, DirectedParams{N: 128, D: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("directed builder violated the program contract: %v", violations[0])
+	}
+}

@@ -1,0 +1,64 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/rng"
+)
+
+// Simulator micro-benchmarks: per-step cost under light (sparse
+// transmitters) and heavy (everyone transmits) load, and the relative cost
+// of the reference oracle.
+
+func benchRun(b *testing.B, g *graph.Graph, p Protocol, maxSteps int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fixed step budget: measure per-step cost; the protocol may well
+		// be incomplete at the cap.
+		res, err := Run(g, p, Config{Seed: uint64(i + 1)}, Options{MaxSteps: maxSteps, RunToMaxSteps: true})
+		if err != nil && !errors.Is(err, ErrStepLimit) {
+			b.Fatal(err)
+		}
+		if res != nil && res.StepsSimulated == 0 {
+			b.Fatal("no steps")
+		}
+	}
+}
+
+func BenchmarkSimulatorSparseLoad(b *testing.B) {
+	src := rng.New(1)
+	g := graph.GNPConnected(1024, 4.0/1024, src)
+	benchRun(b, g, coin{}, 200)
+}
+
+func BenchmarkSimulatorDenseLoad(b *testing.B) {
+	g := graph.Clique(256) // every step floods ~256 transmitters over 65k arcs
+	benchRun(b, g, flood{}, 50)
+}
+
+func BenchmarkSimulatorVsReference(b *testing.B) {
+	src := rng.New(2)
+	g := graph.GNPConnected(256, 0.05, src)
+	// Fixed step budget: this measures per-step cost, not completion (the
+	// coin protocol can stall on high-degree nodes).
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(g, coin{}, Config{Seed: 7},
+				Options{MaxSteps: 300, RunToMaxSteps: true}); err != nil && !errors.Is(err, ErrStepLimit) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The reference stops with ErrStepLimit at the budget; that is
+			// the expected outcome here.
+			if _, err := RunReference(g, coin{}, Config{Seed: 7}, 300); err != nil && !errors.Is(err, ErrStepLimit) {
+				b.Fatal(err)
+			}
+		}
+	})
+}

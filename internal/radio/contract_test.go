@@ -1,0 +1,98 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"adhocradio/internal/graph"
+)
+
+func TestContractCleanProtocolPasses(t *testing.T) {
+	var violations []error
+	p := WithContractChecks(flood{}, func(err error) { violations = append(violations, err) })
+	if _, err := Run(graph.Path(6), p, Config{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("clean protocol reported %d violations: %v", len(violations), violations)
+	}
+}
+
+func TestContractPreservesMarkers(t *testing.T) {
+	p := WithContractChecks(flood{}, func(error) {})
+	if p.Name() != "flood" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if sp, ok := p.(SpontaneousProtocol); !ok || sp.Spontaneous() {
+		t.Fatal("spontaneity marker mishandled")
+	}
+	if d, ok := p.(DeterministicProtocol); !ok || d.Deterministic() {
+		t.Fatal("determinism marker mishandled for a non-deterministic inner protocol")
+	}
+}
+
+// misbehaving simulators/adversaries are what the checker exists for: drive
+// a wrapped program by hand with bad call sequences.
+func TestContractCatchesDecreasingActSteps(t *testing.T) {
+	var got []error
+	p := WithContractChecks(flood{}, func(err error) { got = append(got, err) })
+	prog := p.NewNode(0, Config{N: 2})
+	prog.Act(5)
+	prog.Act(5)
+	prog.Act(3)
+	if len(got) != 2 {
+		t.Fatalf("violations = %v", got)
+	}
+	for _, err := range got {
+		if !strings.Contains(err.Error(), "strictly increasing") {
+			t.Fatalf("wrong violation: %v", err)
+		}
+	}
+}
+
+func TestContractCatchesActBeforeDeliver(t *testing.T) {
+	var got []error
+	p := WithContractChecks(flood{}, func(err error) { got = append(got, err) })
+	prog := p.NewNode(3, Config{N: 8}) // non-source
+	prog.Act(1)
+	if len(got) != 1 || !strings.Contains(got[0].Error(), "before any Deliver") {
+		t.Fatalf("violations = %v", got)
+	}
+	// The source may act immediately.
+	got = nil
+	src := p.NewNode(0, Config{N: 8})
+	src.Act(1)
+	if len(got) != 0 {
+		t.Fatalf("source flagged: %v", got)
+	}
+}
+
+func TestContractCatchesHalfDuplexBreach(t *testing.T) {
+	var got []error
+	p := WithContractChecks(flood{}, func(err error) { got = append(got, err) })
+	prog := p.NewNode(0, Config{N: 2})
+	prog.Act(1) // flood transmits
+	prog.Deliver(1, Message{From: 1, Payload: "x"})
+	if len(got) != 1 || !strings.Contains(got[0].Error(), "half-duplex") {
+		t.Fatalf("violations = %v", got)
+	}
+}
+
+func TestContractCatchesSelfDelivery(t *testing.T) {
+	var got []error
+	p := WithContractChecks(flood{}, func(err error) { got = append(got, err) })
+	prog := p.NewNode(2, Config{N: 4})
+	prog.Deliver(1, Message{From: 2, Payload: "x"})
+	if len(got) != 1 || !strings.Contains(got[0].Error(), "own transmission") {
+		t.Fatalf("violations = %v", got)
+	}
+}
+
+func TestContractViolationErrorFormat(t *testing.T) {
+	err := &ContractViolationError{Node: 7, Step: 42, Reason: "boom"}
+	for _, want := range []string{"node 7", "step 42", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err.Error(), want)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package radio implements the synchronous radio network model of the paper
+// (Section 1.3) as a discrete-event simulator.
+//
+// Time proceeds in synchronous steps 1, 2, 3, ... In every step each node
+// acts either as a transmitter or as a receiver. A receiver gets a message
+// iff exactly one of its in-neighbors transmits in that step; when two or
+// more transmit, a collision occurs, and the node cannot distinguish a
+// collision from silence. Only nodes that already hold the source message
+// may transmit ("no spontaneous transmissions"); the simulator enforces this
+// by never asking an uninformed node to act. (Optional model variants relax
+// this and other assumptions: SpontaneousProtocol, NeighborAwareProtocol,
+// Options.CollisionDetection.)
+//
+// Algorithms are implemented as per-node state machines (NodeProgram). The
+// contract mirrors the knowledge model of the paper: a program is created
+// knowing only its own label and the global parameters every node knows (the
+// label bound R and, for some procedures, an assumed radius). It observes
+// the world only through Deliver calls, which occur exactly when the model
+// says a message is received. Silent steps and collided steps produce no
+// call — indistinguishable, as required.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"adhocradio/internal/graph"
+)
+
+// Config carries the a-priori knowledge shared by all nodes, matching
+// Section 1.3: each node knows its own label and the bound R such that all
+// labels are in {0,...,R} (R is linear in n). Seed drives all protocol
+// randomness; deterministic protocols ignore it.
+type Config struct {
+	// N is the number of nodes. Protocols faithful to the paper must not
+	// depend on it beyond deriving R; it is provided for harness use.
+	N int
+	// R is the label bound: labels lie in {0,...,R}. Zero means "use N-1".
+	R int
+	// Seed is the master random seed. Each node derives an independent
+	// stream from (Seed, label), so runs are replayable.
+	Seed uint64
+}
+
+// LabelBound returns the effective R.
+func (c Config) LabelBound() int {
+	if c.R > 0 {
+		return c.R
+	}
+	return c.N - 1
+}
+
+// Message is what a receiver observes on a successful reception.
+type Message struct {
+	// From is the label of the transmitter. The radio model does not
+	// deliver sender identity out of band; protocols that need it include
+	// it in the payload. From is provided for tracing and for the harness.
+	From int
+	// Payload is the protocol-defined message content. Broadcasting
+	// payloads always implicitly carry the source message: any node that
+	// receives any message becomes informed.
+	Payload any
+}
+
+// SourceCarrier lets a payload declare whether it conveys the source
+// message. Payloads that do not implement it are assumed to carry it (true
+// for all randomized broadcast payloads). Section 4's Echo replies transmit
+// only the responder's label: a not-yet-informed node that hears one does
+// not thereby obtain the source message, so the simulator does not mark it
+// informed (and, since uninformed nodes may not transmit or act, does not
+// deliver such traffic to it at all). Informed receivers get every
+// successful reception as usual.
+type SourceCarrier interface {
+	CarriesSourceMessage() bool
+}
+
+// NodeProgram is the state machine run at one node.
+//
+// The simulator calls Act(t) once per step t for every informed node, in
+// increasing t, and expects (transmit, payload). It calls Deliver(t, msg)
+// when the node was listening at step t and exactly one in-neighbor
+// transmitted. A node that transmits in a step cannot receive in it
+// (half-duplex). Programs are never called before the node is informed.
+type NodeProgram interface {
+	Act(t int) (transmit bool, payload any)
+	Deliver(t int, msg Message)
+}
+
+// CollisionListener is an optional extension for the collision-detection
+// model variant: when the simulator runs with CollisionDetection enabled and
+// two or more in-neighbors of a listening informed node transmit, the node
+// is told so. The paper's model has no collision detection; this variant
+// exists to demonstrate (in tests) that procedure Echo simulates it.
+type CollisionListener interface {
+	DeliverCollision(t int)
+}
+
+// Protocol builds node programs. Name is used in reports.
+type Protocol interface {
+	Name() string
+	NewNode(label int, cfg Config) NodeProgram
+}
+
+// DeterministicProtocol marks protocols whose programs are deterministic
+// functions of (label, cfg, reception history). Only such protocols can be
+// attacked by the Section 3 adversary.
+type DeterministicProtocol interface {
+	Protocol
+	// Deterministic is a marker; implementations simply return true.
+	Deterministic() bool
+}
+
+// SpontaneousProtocol marks protocols built for the model variant of
+// Section 1.1's reference [7], where nodes may transmit before holding the
+// source message ("spontaneous transmissions"). The simulator then creates
+// every node's program at step 0 and drives all of them; transmissions not
+// carrying the source message are delivered to uninformed listeners too
+// (they can act on them in this model). Broadcast completion is still
+// defined by source-message possession. The paper's own algorithms never
+// use this variant; it exists to reproduce the §1.1 landscape, where
+// spontaneous transmissions buy O(n) deterministic broadcast while the
+// standard model is stuck at Ω(n·log n / log(n/D)) (Theorem 2).
+type SpontaneousProtocol interface {
+	Protocol
+	Spontaneous() bool
+}
+
+// NeighborAwareProtocol is the stronger knowledge model of Section 1.1's
+// reference [3]: every node knows a priori the labels of its neighbors (but
+// still nothing else about the topology). When a protocol implements this
+// interface the simulator builds programs through NewNodeWithNeighbors,
+// passing the node's out-neighbor labels. The paper's own algorithms never
+// use it; the linear-time DFS broadcast that "follows from [2]" does.
+//
+// NOTE: the Section 3 adversary cannot attack neighbor-aware protocols —
+// its layer construction would change the neighborhoods it already
+// committed to. Build rejects them.
+type NeighborAwareProtocol interface {
+	Protocol
+	NewNodeWithNeighbors(label int, neighbors []int, cfg Config) NodeProgram
+}
+
+// Options control a simulation run.
+type Options struct {
+	// MaxSteps bounds the run; 0 selects a generous default based on n.
+	MaxSteps int
+	// RunToMaxSteps, when true, keeps simulating after every node is
+	// informed (some protocols have post-completion behaviour worth
+	// tracing). The default stops at completion.
+	RunToMaxSteps bool
+	// CollisionDetection enables the model variant where listeners that
+	// implement CollisionListener are told about collisions.
+	CollisionDetection bool
+	// Trace, if non-nil, receives one event per step. Keep it cheap.
+	Trace TraceFunc
+}
+
+// TraceFunc observes a completed step. transmitters and receptions alias
+// internal buffers and must not be retained.
+type TraceFunc func(step int, transmitters []int, receptions []Message)
+
+// Result reports a completed simulation.
+type Result struct {
+	// Completed is true when every node was informed within MaxSteps.
+	Completed bool
+	// BroadcastTime is the step at the end of which the last node became
+	// informed (the paper's broadcasting time); 0 if n == 1, -1 if the run
+	// did not complete.
+	BroadcastTime int
+	// StepsSimulated is the number of steps actually executed.
+	StepsSimulated int
+	// InformedAt[v] is the step at which v became informed (0 for the
+	// source, -1 if never).
+	InformedAt []int
+	// Transmissions counts (node, step) transmit events.
+	Transmissions int64
+	// Receptions counts successful message deliveries.
+	Receptions int64
+	// Collisions counts (listener, step) events where >= 2 in-neighbors
+	// transmitted.
+	Collisions int64
+}
+
+// ErrStepLimit is wrapped in the error returned by Run when the step budget
+// is exhausted before broadcast completes.
+var ErrStepLimit = errors.New("radio: step limit reached before broadcast completed")
+
+// DefaultMaxSteps is the budget used when Options.MaxSteps is zero: generous
+// enough for every algorithm in this repository on every benign topology
+// (Θ(n log² n) with a floor), while still catching livelocked protocols.
+func DefaultMaxSteps(n int) int {
+	if n < 2 {
+		return 16
+	}
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	return 64 * n * lg * lg
+}
+
+// Run simulates protocol p on network g until broadcast completes or the
+// step budget runs out. Node 0 is the source and is informed at step 0.
+//
+// Run returns an error (wrapping ErrStepLimit) if the budget is exhausted;
+// the partial Result is still returned alongside it.
+func Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("radio: empty graph")
+	}
+	if cfg.N == 0 {
+		cfg.N = n
+	}
+	if cfg.N != n {
+		return nil, fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps(n)
+	}
+
+	res := &Result{
+		BroadcastTime: -1,
+		InformedAt:    make([]int, n),
+	}
+	for v := range res.InformedAt {
+		res.InformedAt[v] = -1
+	}
+	res.InformedAt[0] = 0
+
+	newProgram := func(v int) NodeProgram {
+		if na, ok := p.(NeighborAwareProtocol); ok {
+			neighbors := append([]int(nil), g.Out(v)...)
+			return na.NewNodeWithNeighbors(v, neighbors, cfg)
+		}
+		return p.NewNode(v, cfg)
+	}
+	spontaneous := false
+	if sp, ok := p.(SpontaneousProtocol); ok && sp.Spontaneous() {
+		spontaneous = true
+	}
+	programs := make([]NodeProgram, n)
+	programs[0] = newProgram(0)
+	// active lists the nodes whose programs run: the informed prefix in the
+	// standard model, everyone in the spontaneous variant.
+	active := make([]int, 0, n)
+	active = append(active, 0)
+	informedCount := 1
+	if spontaneous {
+		for v := 1; v < n; v++ {
+			programs[v] = newProgram(v)
+			active = append(active, v)
+		}
+	}
+
+	// Per-step scratch: reception counts and last sender per node.
+	hits := make([]int32, n)
+	lastFrom := make([]int32, n)
+	dirty := make([]int, 0, 64)
+
+	transmitters := make([]int, 0, 64)
+	payloads := make([]any, 0, 64)
+	transmittedThisStep := make([]bool, n)
+	receptions := make([]Message, 0, 64)
+
+	for t := 1; ; t++ {
+		if informedCount == n && !opt.RunToMaxSteps {
+			break
+		}
+		if t > maxSteps {
+			if informedCount == n {
+				break
+			}
+			res.StepsSimulated = t - 1
+			return res, fmt.Errorf("radio: %w after %d steps (%d/%d informed, protocol %s)",
+				ErrStepLimit, maxSteps, informedCount, n, p.Name())
+		}
+
+		// Phase 1: collect transmitters among active nodes.
+		transmitters = transmitters[:0]
+		payloads = payloads[:0]
+		for _, v := range active {
+			tx, payload := programs[v].Act(t)
+			if tx {
+				transmitters = append(transmitters, v)
+				payloads = append(payloads, payload)
+				transmittedThisStep[v] = true
+			}
+		}
+		res.Transmissions += int64(len(transmitters))
+
+		// Phase 2: tally receptions.
+		for i, u := range transmitters {
+			for _, v := range g.Out(u) {
+				if hits[v] == 0 {
+					dirty = append(dirty, v)
+				}
+				hits[v]++
+				if hits[v] == 1 {
+					lastFrom[v] = int32(i)
+				}
+			}
+		}
+
+		// Phase 3: deliver.
+		receptions = receptions[:0]
+		for _, v := range dirty {
+			h := hits[v]
+			hits[v] = 0
+			if transmittedThisStep[v] {
+				continue // half-duplex: transmitters hear nothing
+			}
+			switch {
+			case h == 1:
+				i := lastFrom[v]
+				msg := Message{From: transmitters[i], Payload: payloads[i]}
+				if res.InformedAt[v] == -1 {
+					carrier := true
+					if c, ok := msg.Payload.(SourceCarrier); ok && !c.CarriesSourceMessage() {
+						carrier = false
+					}
+					switch {
+					case carrier:
+						res.InformedAt[v] = t
+						informedCount++
+						if !spontaneous {
+							programs[v] = newProgram(v)
+							active = append(active, v)
+						}
+					case !spontaneous:
+						continue // label-only traffic cannot inform or be acted on
+					}
+				}
+				programs[v].Deliver(t, msg)
+				res.Receptions++
+				if opt.Trace != nil {
+					receptions = append(receptions, msg)
+				}
+			case h >= 2:
+				res.Collisions++
+				if opt.CollisionDetection && res.InformedAt[v] != -1 {
+					if cl, ok := programs[v].(CollisionListener); ok {
+						cl.DeliverCollision(t)
+					}
+				}
+			}
+		}
+		dirty = dirty[:0]
+		for _, u := range transmitters {
+			transmittedThisStep[u] = false
+		}
+
+		if informedCount == n && res.BroadcastTime == -1 {
+			res.BroadcastTime = t
+		}
+		if opt.Trace != nil {
+			opt.Trace(t, transmitters, receptions)
+		}
+		res.StepsSimulated = t
+	}
+
+	res.Completed = informedCount == n
+	if n == 1 {
+		res.BroadcastTime = 0
+		res.Completed = true
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RunReference is a deliberately naive implementation of the same model as
+// Run: per step it scans every node and every arc, with no incremental
+// bookkeeping. It exists purely as a differential-testing oracle — the
+// optimized simulator is checked against it on randomized workloads — and
+// for readers who want the model semantics in thirty lines.
+//
+// It supports the core model only (no collision-detection variant). The
+// protocol must be replayable (same cfg.Seed ⇒ same behaviour) for the
+// comparison to be meaningful.
+func RunReference(g interface {
+	N() int
+	Out(v int) []int
+	In(v int) []int
+}, p Protocol, cfg Config, maxSteps int) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("radio: empty graph")
+	}
+	if cfg.N == 0 {
+		cfg.N = n
+	}
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps(n)
+	}
+
+	newProgram := func(v int) NodeProgram {
+		if na, ok := p.(NeighborAwareProtocol); ok {
+			return na.NewNodeWithNeighbors(v, append([]int(nil), g.Out(v)...), cfg)
+		}
+		return p.NewNode(v, cfg)
+	}
+
+	spontaneous := false
+	if sp, ok := p.(SpontaneousProtocol); ok && sp.Spontaneous() {
+		spontaneous = true
+	}
+	res := &Result{BroadcastTime: -1, InformedAt: make([]int, n)}
+	for v := range res.InformedAt {
+		res.InformedAt[v] = -1
+	}
+	res.InformedAt[0] = 0
+	programs := make([]NodeProgram, n)
+	programs[0] = newProgram(0)
+	if spontaneous {
+		for v := 1; v < n; v++ {
+			programs[v] = newProgram(v)
+		}
+	}
+
+	informed := func() int {
+		c := 0
+		for _, at := range res.InformedAt {
+			if at >= 0 {
+				c++
+			}
+		}
+		return c
+	}
+
+	for t := 1; informed() < n; t++ {
+		if t > maxSteps {
+			res.StepsSimulated = t - 1
+			return res, fmt.Errorf("radio: %w after %d steps (reference)", ErrStepLimit, maxSteps)
+		}
+		res.StepsSimulated = t
+
+		// Who transmits.
+		tx := make(map[int]any, 4)
+		for v := 0; v < n; v++ {
+			if programs[v] == nil {
+				continue
+			}
+			if ok, payload := programs[v].Act(t); ok {
+				tx[v] = payload
+			}
+		}
+		res.Transmissions += int64(len(tx))
+
+		// Who receives what: scan every node's in-neighbors.
+		for v := 0; v < n; v++ {
+			if _, transmitting := tx[v]; transmitting {
+				continue
+			}
+			from, count := -1, 0
+			for _, u := range g.In(v) {
+				if _, ok := tx[u]; ok {
+					from = u
+					count++
+				}
+			}
+			switch {
+			case count == 1:
+				payload := tx[from]
+				if res.InformedAt[v] == -1 {
+					carrier := true
+					if c, ok := payload.(SourceCarrier); ok && !c.CarriesSourceMessage() {
+						carrier = false
+					}
+					switch {
+					case carrier:
+						res.InformedAt[v] = t
+						if !spontaneous {
+							programs[v] = newProgram(v)
+						}
+					case !spontaneous:
+						continue
+					}
+				}
+				programs[v].Deliver(t, Message{From: from, Payload: payload})
+				res.Receptions++
+			case count > 1:
+				res.Collisions++
+			}
+		}
+		if informed() == n {
+			res.BroadcastTime = t
+		}
+	}
+	res.Completed = true
+	if n == 1 {
+		res.BroadcastTime = 0
+	}
+	return res, nil
+}

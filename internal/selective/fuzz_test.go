@@ -1,0 +1,54 @@
+package selective
+
+import (
+	"testing"
+
+	"adhocradio/internal/bitset"
+)
+
+// FuzzWitness feeds arbitrary small families and checks that any witness
+// returned is genuinely unselected, within budget, and drawn from the
+// candidate pool — and that the search never panics.
+func FuzzWitness(f *testing.F) {
+	f.Add(uint64(0b1010_0101), uint8(2), uint8(3))
+	f.Add(uint64(0xffff), uint8(4), uint8(2))
+	f.Add(uint64(0), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, setBits uint64, numSetsRaw, kRaw uint8) {
+		const universe = 12
+		numSets := int(numSetsRaw%5) + 1
+		k := int(kRaw%4) + 1
+		family := make([]*bitset.Set, numSets)
+		for i := range family {
+			s := bitset.New(universe)
+			for e := 0; e < universe; e++ {
+				if setBits>>(uint(i*7+e)%64)&1 == 1 {
+					s.Add(e)
+				}
+			}
+			family[i] = s
+		}
+		candidates := make([]int, universe)
+		for i := range candidates {
+			candidates[i] = i
+		}
+		w := Witness(family, candidates, k)
+		if w == nil {
+			return
+		}
+		if len(w) == 0 || len(w) > k {
+			t.Fatalf("witness size %d out of [1,%d]", len(w), k)
+		}
+		x := bitset.New(universe)
+		for _, e := range w {
+			if e < 0 || e >= universe {
+				t.Fatalf("witness element %d outside pool", e)
+			}
+			x.Add(e)
+		}
+		for i, s := range family {
+			if s.IntersectionCount(x) == 1 {
+				t.Fatalf("witness %v singly selected by set %d", w, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package selective
+
+import (
+	"fmt"
+
+	"adhocradio/internal/bitset"
+)
+
+// MinimalSize computes, by exhaustive branch-and-bound over candidate sets,
+// the exact minimum size of an (m,k)-selective family over the universe
+// {0..m-1}. Only practical for tiny parameters (m <= ~8); it exists to
+// validate CMSLowerBound empirically and to give tests ground truth.
+//
+// The search treats member sets up to the symmetry that only their
+// intersection pattern with small X matters, and prunes on the remaining
+// budget. It returns the size and one witness family.
+func MinimalSize(m, k, maxSize int) (int, *Family, error) {
+	if m < 1 || k < 1 {
+		return 0, nil, fmt.Errorf("selective: bad parameters m=%d k=%d", m, k)
+	}
+	if m > 12 {
+		return 0, nil, fmt.Errorf("selective: m=%d too large for exhaustive search", m)
+	}
+	if k > m {
+		k = m
+	}
+	targets := enumerateTargets(m, k)
+
+	// Candidate member sets: all non-empty subsets of the universe. (The
+	// empty set never selects anything.)
+	numCandidates := (1 << uint(m)) - 1
+
+	// covers[s] = bitmask over targets singly selected by subset s.
+	covers := make([][]uint64, numCandidates+1)
+	words := (len(targets) + 63) / 64
+	for s := 1; s <= numCandidates; s++ {
+		cv := make([]uint64, words)
+		for ti, x := range targets {
+			if popcount(uint32(s)&x) == 1 {
+				cv[ti/64] |= 1 << uint(ti%64)
+			}
+		}
+		covers[s] = cv
+	}
+	full := make([]uint64, words)
+	for ti := range targets {
+		full[ti/64] |= 1 << uint(ti%64)
+	}
+
+	for size := 0; size <= maxSize; size++ {
+		if sets, ok := searchCover(covers, full, words, size, numCandidates); ok {
+			f := NewFamily(m)
+			for _, s := range sets {
+				b := bitset.New(m)
+				for e := 0; e < m; e++ {
+					if s&(1<<uint(e)) != 0 {
+						b.Add(e)
+					}
+				}
+				f.AddSet(b)
+			}
+			return size, f, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("selective: no (%d,%d)-selective family of size <= %d", m, k, maxSize)
+}
+
+// enumerateTargets lists every non-empty X ⊆ {0..m-1} with |X| <= k as a
+// bitmask.
+func enumerateTargets(m, k int) []uint32 {
+	var out []uint32
+	for x := uint32(1); x < 1<<uint(m); x++ {
+		if popcount(x) <= k {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// searchCover looks for `size` candidate sets whose covers union to full.
+// Classic set-cover DFS with a greedy bound: order is by first uncovered
+// target, branching over candidates covering it.
+func searchCover(covers [][]uint64, full []uint64, words, size, numCandidates int) ([]uint32, bool) {
+	covered := make([]uint64, words)
+	var chosen []uint32
+	var dfs func(remaining int) bool
+	dfs = func(remaining int) bool {
+		// First uncovered target.
+		ti := -1
+		for w := 0; w < words; w++ {
+			if miss := full[w] &^ covered[w]; miss != 0 {
+				b := 0
+				for miss&1 == 0 {
+					miss >>= 1
+					b++
+				}
+				ti = w*64 + b
+				break
+			}
+		}
+		if ti == -1 {
+			return true
+		}
+		if remaining == 0 {
+			return false
+		}
+		for s := 1; s <= numCandidates; s++ {
+			cv := covers[s]
+			if cv[ti/64]&(1<<uint(ti%64)) == 0 {
+				continue
+			}
+			// Apply.
+			saved := make([]uint64, words)
+			copy(saved, covered)
+			progress := false
+			for w := 0; w < words; w++ {
+				nw := covered[w] | cv[w]
+				if nw != covered[w] {
+					progress = true
+				}
+				covered[w] = nw
+			}
+			if progress {
+				chosen = append(chosen, uint32(s))
+				if dfs(remaining - 1) {
+					return true
+				}
+				chosen = chosen[:len(chosen)-1]
+			}
+			copy(covered, saved)
+		}
+		return false
+	}
+	if dfs(size) {
+		return append([]uint32(nil), chosen...), true
+	}
+	return nil, false
+}

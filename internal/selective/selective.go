@@ -1,0 +1,309 @@
+// Package selective implements (m,k)-selective families, the combinatorial
+// object behind the paper's deterministic lower bound (Section 3).
+//
+// A family F of subsets of a universe U is (m,k)-selective (m = |U|) when
+// for every non-empty X ⊆ U with |X| <= k some member F ∈ F selects X
+// singly: |X ∩ F| = 1. The lower bound of Clementi, Monti and Silvestri
+// (reference [10]) says any (m,k)-selective family has size
+// Ω(k·log m / log k); the adversary of Section 3 runs few enough jamming
+// steps that its transmit-set family stays below that size, so a witness X*
+// of non-selectivity exists, and X* becomes the hidden sub-layer L*_{2i+1}.
+package selective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adhocradio/internal/bitset"
+	"adhocradio/internal/rng"
+)
+
+// Family is a finite family of subsets of the universe {0, ..., Universe-1}.
+type Family struct {
+	Universe int
+	Sets     []*bitset.Set
+}
+
+// NewFamily returns a family over a universe of the given size.
+func NewFamily(universe int) *Family {
+	return &Family{Universe: universe}
+}
+
+// Add appends a set given by its elements.
+func (f *Family) Add(elements []int) {
+	s := bitset.New(f.Universe)
+	for _, e := range elements {
+		s.Add(e)
+	}
+	f.Sets = append(f.Sets, s)
+}
+
+// AddSet appends a prebuilt set (not copied).
+func (f *Family) AddSet(s *bitset.Set) { f.Sets = append(f.Sets, s) }
+
+// Len returns the number of member sets.
+func (f *Family) Len() int { return len(f.Sets) }
+
+// SelectsSingly reports whether some member selects X singly (|X ∩ F| = 1).
+func (f *Family) SelectsSingly(x *bitset.Set) bool {
+	for _, s := range f.Sets {
+		if s.IntersectionCount(x) == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSelective exhaustively checks (Universe,k)-selectivity and returns the
+// lexicographically-first violating X when the family is not selective.
+// Cost grows like C(Universe, <=k); callers should keep Universe small
+// (tests use Universe <= ~24).
+func (f *Family) IsSelective(k int) (bool, []int) {
+	x := bitset.New(f.Universe)
+	var cur []int
+	var rec func(next, size int) []int
+	rec = func(next, size int) []int {
+		if size > 0 && !f.SelectsSingly(x) {
+			return append([]int(nil), cur...)
+		}
+		if size == k {
+			return nil
+		}
+		for e := next; e < f.Universe; e++ {
+			x.Add(e)
+			cur = append(cur, e)
+			if bad := rec(e+1, size+1); bad != nil {
+				return bad
+			}
+			cur = cur[:len(cur)-1]
+			x.Remove(e)
+		}
+		return nil
+	}
+	if bad := rec(0, 0); bad != nil {
+		return false, bad
+	}
+	return true, nil
+}
+
+// CMSLowerBound returns the Clementi–Monti–Silvestri lower bound (with the
+// 1/8 constant the paper's Section 3 budget is tuned against) on the size
+// of any (m,k)-selective family: k·log2(m) / (8·log2(k)), for k >= 2.
+func CMSLowerBound(m, k int) int {
+	if m < 2 || k < 2 {
+		return 1
+	}
+	return int(float64(k) * math.Log2(float64(m)) / (8 * math.Log2(float64(k))))
+}
+
+// Witness searches for a non-empty X with |X| <= k drawn from candidates
+// such that no member of the family selects X singly; it returns nil when
+// every such X is singly selected (i.e. the family restricted to the
+// candidate pool is selective). This is the exact search the Section 3
+// adversary uses to pick L*_{2i+1} ⊆ B_l(p*).
+//
+// The search groups candidates by signature (which member sets contain
+// them): two candidates with equal signatures are interchangeable, and
+// taking more than two from one group never changes feasibility, so the
+// effective search space is 3^(#groups) capped by the budget k — small for
+// the family sizes the adversary produces. Memoization on capped per-set
+// counts keeps worst cases polynomial in practice.
+func Witness(family []*bitset.Set, candidates []int, k int) []int {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	// Drop member sets that contain no candidate: they can never select
+	// any X ⊆ candidates singly.
+	var live []*bitset.Set
+	for _, s := range family {
+		for _, c := range candidates {
+			if s.Contains(c) {
+				live = append(live, s)
+				break
+			}
+		}
+	}
+	if len(live) == 0 {
+		// No set can select anything: any single candidate is a witness.
+		return []int{candidates[0]}
+	}
+	if len(live) > 62 {
+		// Signatures no longer fit one word; the adversary never gets
+		// close (family size ~ k·log n / (8 log k)). Fall back to a greedy
+		// randomized search rather than failing outright.
+		return witnessRandomized(live, candidates, k)
+	}
+
+	type group struct {
+		sig    uint64
+		sample []int // up to 2 representative candidates
+	}
+	groupIdx := map[uint64]int{}
+	var groups []group
+	for _, c := range candidates {
+		var sig uint64
+		for i, s := range live {
+			if s.Contains(c) {
+				sig |= 1 << uint(i)
+			}
+		}
+		gi, ok := groupIdx[sig]
+		if !ok {
+			gi = len(groups)
+			groupIdx[sig] = gi
+			groups = append(groups, group{sig: sig})
+		}
+		if len(groups[gi].sample) < 2 {
+			groups[gi].sample = append(groups[gi].sample, c)
+		}
+	}
+	// A candidate in no live set is a one-element witness.
+	if gi, ok := groupIdx[0]; ok {
+		return []int{groups[gi].sample[0]}
+	}
+
+	// DFS over groups choosing 0, 1 or 2 members each, tracking per-set
+	// counts capped at 2 (2 and "more" are equivalent for the ≠1 test).
+	nSets := len(live)
+	type key struct {
+		gi     int
+		counts uint64 // 2 bits per set, capped at 2
+		budget int
+		used   bool
+	}
+	seen := map[key]bool{}
+	var pick []int
+	var dfs func(gi int, counts uint64, budget int, used bool) bool
+	dfs = func(gi int, counts uint64, budget int, used bool) bool {
+		if gi == len(groups) {
+			if !used {
+				return false
+			}
+			for i := 0; i < nSets; i++ {
+				if (counts>>(2*uint(i)))&3 == 1 {
+					return false
+				}
+			}
+			return true
+		}
+		k0 := key{gi, counts, budget, used}
+		if seen[k0] {
+			return false
+		}
+		g := groups[gi]
+		maxTake := len(g.sample)
+		if maxTake > budget {
+			maxTake = budget
+		}
+		for take := 0; take <= maxTake; take++ {
+			nc := counts
+			if take > 0 {
+				nc = addCapped(counts, g.sig, take, nSets)
+			}
+			if dfs(gi+1, nc, budget-take, used || take > 0) {
+				if take > 0 {
+					pick = append(pick, g.sample[:take]...)
+				}
+				return true
+			}
+		}
+		seen[k0] = true
+		return false
+	}
+	if dfs(0, 0, k, false) {
+		sort.Ints(pick)
+		return pick
+	}
+	return nil
+}
+
+// addCapped adds `take` to the 2-bit counter of every set in sig, capping
+// each counter at 2.
+func addCapped(counts, sig uint64, take, nSets int) uint64 {
+	for i := 0; i < nSets; i++ {
+		if sig&(1<<uint(i)) == 0 {
+			continue
+		}
+		shift := 2 * uint(i)
+		c := (counts >> shift) & 3
+		c += uint64(take)
+		if c > 2 {
+			c = 2
+		}
+		counts = counts&^(3<<shift) | c<<shift
+	}
+	return counts
+}
+
+// witnessRandomized is a fallback witness search for oversized families:
+// random subsets of the candidates with greedy repair. Returns nil after a
+// bounded number of attempts.
+func witnessRandomized(family []*bitset.Set, candidates []int, k int) []int {
+	src := rng.New(0x5eed)
+	x := bitset.New(0)
+	for attempt := 0; attempt < 2000; attempt++ {
+		x.Clear()
+		size := 1 + src.Intn(k)
+		for _, idx := range src.Sample(len(candidates), min(size, len(candidates))) {
+			x.Add(candidates[idx])
+		}
+		ok := true
+		for _, s := range family {
+			if s.IntersectionCount(x) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok && !x.Empty() {
+			return x.Elements()
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GreedyConstruct builds an (m,k)-selective family by drawing random sets
+// of geometric densities and keeping those that reduce the number of
+// unselected X, verifying exact selectivity at the end. Intended for small
+// m (tests and demonstrations); returns an error when it fails to converge.
+func GreedyConstruct(m, k int, src *rng.Source) (*Family, error) {
+	if m < 1 || k < 1 {
+		return nil, fmt.Errorf("selective: bad parameters m=%d k=%d", m, k)
+	}
+	f := NewFamily(m)
+	// Densities 1, 1/2, 1/4, ...: a random set of density ~1/|X| selects X
+	// singly with constant probability.
+	for budget := 0; budget < 64*k*(1+intLog2(m)); budget++ {
+		ok, _ := f.IsSelective(k)
+		if ok {
+			return f, nil
+		}
+		density := 1 << uint(src.Intn(intLog2(m)+1))
+		s := bitset.New(m)
+		for e := 0; e < m; e++ {
+			if src.Intn(density) == 0 {
+				s.Add(e)
+			}
+		}
+		f.AddSet(s)
+	}
+	if ok, _ := f.IsSelective(k); ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("selective: greedy construction for (%d,%d) did not converge", m, k)
+}
+
+func intLog2(x int) int {
+	l := 0
+	for 1<<uint(l+1) <= x {
+		l++
+	}
+	return l
+}

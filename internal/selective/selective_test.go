@@ -1,0 +1,211 @@
+package selective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocradio/internal/bitset"
+	"adhocradio/internal/rng"
+)
+
+func setOf(elements ...int) *bitset.Set {
+	s := bitset.New(8)
+	for _, e := range elements {
+		s.Add(e)
+	}
+	return s
+}
+
+func TestSelectsSingly(t *testing.T) {
+	f := NewFamily(6)
+	f.Add([]int{0, 1})
+	f.Add([]int{2})
+	if !f.SelectsSingly(setOf(2, 3)) { // {2} hits it singly
+		t.Fatal("missed single selection")
+	}
+	if f.SelectsSingly(setOf(0, 1)) { // {0,1} hits both or none
+		t.Fatal("false single selection")
+	}
+}
+
+func TestIsSelectiveSingletons(t *testing.T) {
+	// The family of all singletons is (m,k)-selective for every k.
+	f := NewFamily(5)
+	for e := 0; e < 5; e++ {
+		f.Add([]int{e})
+	}
+	ok, bad := f.IsSelective(5)
+	if !ok {
+		t.Fatalf("singleton family rejected, witness %v", bad)
+	}
+}
+
+func TestIsSelectiveFindsWitness(t *testing.T) {
+	// One set {0,1}: X={0,1} is hit twice, X={2} not at all.
+	f := NewFamily(3)
+	f.Add([]int{0, 1})
+	ok, bad := f.IsSelective(2)
+	if ok {
+		t.Fatal("non-selective family accepted")
+	}
+	if len(bad) == 0 {
+		t.Fatal("no witness returned")
+	}
+	x := bitset.New(3)
+	for _, e := range bad {
+		x.Add(e)
+	}
+	if f.SelectsSingly(x) {
+		t.Fatalf("returned witness %v is singly selected", bad)
+	}
+}
+
+func TestEmptyFamilyNotSelective(t *testing.T) {
+	f := NewFamily(4)
+	ok, bad := f.IsSelective(2)
+	if ok || len(bad) != 1 {
+		t.Fatalf("empty family: ok=%v witness=%v", ok, bad)
+	}
+}
+
+func TestWitnessAgreesWithExactCheck(t *testing.T) {
+	// Property: Witness over the full universe finds an X iff IsSelective
+	// says the family is not selective, and any returned X really is
+	// unselected.
+	src := rng.New(42)
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		m := 4 + r.Intn(8)
+		k := 2 + r.Intn(3)
+		fam := NewFamily(m)
+		numSets := r.Intn(6)
+		for i := 0; i < numSets; i++ {
+			s := bitset.New(m)
+			for e := 0; e < m; e++ {
+				if r.Bool() {
+					s.Add(e)
+				}
+			}
+			fam.AddSet(s)
+		}
+		candidates := make([]int, m)
+		for i := range candidates {
+			candidates[i] = i
+		}
+		w := Witness(fam.Sets, candidates, k)
+		ok, _ := fam.IsSelective(k)
+		if ok != (w == nil) {
+			return false
+		}
+		if w != nil {
+			if len(w) == 0 || len(w) > k {
+				return false
+			}
+			x := bitset.New(m)
+			for _, e := range w {
+				x.Add(e)
+			}
+			if fam.SelectsSingly(x) {
+				return false
+			}
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessRestrictedCandidates(t *testing.T) {
+	// Universe {0..5}; family selects everything containing 0 or 1 singly,
+	// but candidates {2,3} are invisible to the family: {2} is a witness.
+	fam := []*bitset.Set{setOf(0), setOf(1)}
+	w := Witness(fam, []int{2, 3}, 2)
+	if len(w) != 1 || (w[0] != 2 && w[0] != 3) {
+		t.Fatalf("witness = %v", w)
+	}
+}
+
+func TestWitnessNilWhenSelective(t *testing.T) {
+	// Singletons over the candidate pool: no witness exists.
+	fam := []*bitset.Set{setOf(4), setOf(7)}
+	if w := Witness(fam, []int{4, 7}, 2); w != nil {
+		t.Fatalf("unexpected witness %v", w)
+	}
+}
+
+func TestWitnessNeedsPair(t *testing.T) {
+	// family = {{4},{7}} with candidates {4,7,9} and k=2: {9} works (in no
+	// set). With candidates {4,7} witness must pair... {4,7}: set {4} hits
+	// it singly -> actually selected. So nil. With family {{4,7}} the pair
+	// {4,7} is hit twice: witness.
+	fam := []*bitset.Set{setOf(4, 7)}
+	w := Witness(fam, []int{4, 7}, 2)
+	if len(w) != 2 {
+		t.Fatalf("witness = %v, want the pair", w)
+	}
+}
+
+func TestWitnessBudgetRespected(t *testing.T) {
+	// k=1 but every singleton is selected: must return nil even though a
+	// pair would work.
+	fam := []*bitset.Set{setOf(0, 1)}
+	if w := Witness(fam, []int{0, 1}, 1); w != nil {
+		t.Fatalf("k=1 witness = %v", w)
+	}
+	if w := Witness(fam, []int{0, 1}, 2); len(w) != 2 {
+		t.Fatalf("k=2 witness = %v", w)
+	}
+}
+
+func TestGreedyConstructSmall(t *testing.T) {
+	src := rng.New(7)
+	for _, tc := range []struct{ m, k int }{{6, 2}, {10, 3}, {12, 2}} {
+		f, err := GreedyConstruct(tc.m, tc.k, src)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tc.m, tc.k, err)
+		}
+		if ok, bad := f.IsSelective(tc.k); !ok {
+			t.Fatalf("(%d,%d): constructed family not selective, witness %v", tc.m, tc.k, bad)
+		}
+	}
+}
+
+func TestGreedySizeAboveCMSBound(t *testing.T) {
+	// Sanity on the bound function and that real selective families respect
+	// it (they must: it is a lower bound).
+	src := rng.New(9)
+	f, err := GreedyConstruct(12, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() < CMSLowerBound(12, 3) {
+		t.Fatalf("family of size %d below CMS bound %d: bound or construction broken",
+			f.Len(), CMSLowerBound(12, 3))
+	}
+}
+
+func TestCMSLowerBoundShape(t *testing.T) {
+	if CMSLowerBound(1, 5) != 1 || CMSLowerBound(100, 1) != 1 {
+		t.Fatal("degenerate bounds wrong")
+	}
+	// Grows with m and k.
+	if CMSLowerBound(1<<20, 64) <= CMSLowerBound(1<<10, 64) {
+		t.Fatal("bound not increasing in m")
+	}
+	if CMSLowerBound(1<<20, 256) <= CMSLowerBound(1<<20, 16) {
+		t.Fatal("bound not increasing in k")
+	}
+}
+
+func TestAddCapped(t *testing.T) {
+	// Set 0 and 2 in sig; take 1 twice should cap at 2.
+	var counts uint64
+	counts = addCapped(counts, 0b101, 1, 3)
+	counts = addCapped(counts, 0b101, 1, 3)
+	counts = addCapped(counts, 0b101, 5, 3) // huge take still caps
+	if (counts>>0)&3 != 2 || (counts>>2)&3 != 0 || (counts>>4)&3 != 2 {
+		t.Fatalf("counts = %b", counts)
+	}
+}

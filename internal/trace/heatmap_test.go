@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"adhocradio/internal/det"
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+)
+
+func TestJainFairness(t *testing.T) {
+	// Perfectly even counts: index 1.
+	c := &Collector{txPerNode: map[int]int{1: 4, 2: 4, 3: 4}}
+	if f := c.JainFairness(); f < 0.999 {
+		t.Fatalf("even counts fairness %f", f)
+	}
+	// One dominant transmitter: index near 1/n.
+	c = &Collector{txPerNode: map[int]int{1: 100, 2: 1, 3: 1, 4: 1}}
+	if f := c.JainFairness(); f > 0.5 {
+		t.Fatalf("skewed counts fairness %f", f)
+	}
+	// Empty collector.
+	if f := (&Collector{}).JainFairness(); f != 0 {
+		t.Fatalf("empty fairness %f", f)
+	}
+}
+
+func TestJainFairnessFromRun(t *testing.T) {
+	// Round-robin gives every node roughly equal slots on a path.
+	g := graph.Path(10)
+	var c Collector
+	if _, err := radio.Run(g, det.RoundRobin{}, radio.Config{}, radio.Options{Trace: c.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	if f := c.JainFairness(); f < 0.3 {
+		t.Fatalf("round-robin fairness %f unexpectedly low", f)
+	}
+}
+
+func TestLayerHeatmap(t *testing.T) {
+	g := graph.Path(6)
+	res, err := radio.Run(g, det.RoundRobin{}, radio.Config{}, radio.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AnalyzeProgress(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := g.Layers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := LayerHeatmap(p, layers, res.InformedAt, 20)
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("heatmap has %d rows, want 6:\n%s", len(lines), hm)
+	}
+	if !strings.HasPrefix(lines[0], "L0 ") || !strings.Contains(lines[5], "done at") {
+		t.Fatalf("heatmap format:\n%s", hm)
+	}
+	// The last layer's block must appear in a later column than the
+	// first's: verify the diagonal by comparing the column of the first
+	// non-empty glyph.
+	col := func(line string) int {
+		inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+		for i, r := range []rune(inner) {
+			if r != ' ' {
+				return i
+			}
+		}
+		return -1
+	}
+	if c0, c5 := col(lines[1]), col(lines[5]); c0 < 0 || c5 < 0 || c5 < c0 {
+		t.Fatalf("no diagonal front: cols %d, %d\n%s", c0, c5, hm)
+	}
+	// Degenerate width falls back.
+	if !strings.Contains(LayerHeatmap(p, layers, res.InformedAt, 0), "done at") {
+		t.Fatal("zero width broke heatmap")
+	}
+}

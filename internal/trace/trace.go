@@ -1,0 +1,231 @@
+// Package trace turns raw simulation results into the derived views the
+// tools and experiments report: how the informed front advanced through the
+// BFS layers, how transmissions were distributed over nodes (energy), and
+// an ASCII timeline of broadcast progress.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+)
+
+// Collector accumulates per-step statistics through the simulator's Trace
+// hook. The zero value is ready to use.
+type Collector struct {
+	txPerStep []int
+	txPerNode map[int]int
+	rxPerStep []int
+}
+
+// Hook returns the TraceFunc to pass in radio.Options.
+func (c *Collector) Hook() radio.TraceFunc {
+	return func(step int, transmitters []int, receptions []radio.Message) {
+		if c.txPerNode == nil {
+			c.txPerNode = map[int]int{}
+		}
+		for len(c.txPerStep) < step {
+			c.txPerStep = append(c.txPerStep, 0)
+			c.rxPerStep = append(c.rxPerStep, 0)
+		}
+		c.txPerStep[step-1] = len(transmitters)
+		c.rxPerStep[step-1] = len(receptions)
+		for _, v := range transmitters {
+			c.txPerNode[v]++
+		}
+	}
+}
+
+// Steps returns the number of steps observed.
+func (c *Collector) Steps() int { return len(c.txPerStep) }
+
+// TransmissionsAt returns the number of transmitters in step t (1-based).
+func (c *Collector) TransmissionsAt(t int) int {
+	if t < 1 || t > len(c.txPerStep) {
+		return 0
+	}
+	return c.txPerStep[t-1]
+}
+
+// BusiestStep returns the step with the most transmitters and its count
+// (0, 0 when nothing was observed).
+func (c *Collector) BusiestStep() (step, tx int) {
+	for i, n := range c.txPerStep {
+		if n > tx {
+			step, tx = i+1, n
+		}
+	}
+	return step, tx
+}
+
+// SilentSteps counts steps in which nobody transmitted.
+func (c *Collector) SilentSteps() int {
+	n := 0
+	for _, tx := range c.txPerStep {
+		if tx == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Energy summarizes per-node transmission counts: what a battery budget
+// cares about.
+type Energy struct {
+	Total   int64
+	Nodes   int // nodes that transmitted at least once
+	Max     int
+	MaxNode int
+	Mean    float64
+}
+
+// Energy aggregates the per-node transmission counts observed so far.
+func (c *Collector) Energy() Energy {
+	e := Energy{MaxNode: -1}
+	for v, n := range c.txPerNode {
+		e.Total += int64(n)
+		e.Nodes++
+		if n > e.Max || (n == e.Max && (e.MaxNode == -1 || v < e.MaxNode)) {
+			e.Max, e.MaxNode = n, v
+		}
+	}
+	if e.Nodes > 0 {
+		e.Mean = float64(e.Total) / float64(e.Nodes)
+	}
+	return e
+}
+
+// Progress describes how a broadcast moved through the network's BFS
+// layers.
+type Progress struct {
+	// LayerDone[l] is the step at which the last node of layer l was
+	// informed (0 for the source layer).
+	LayerDone []int
+	// InformedByStep[t] is the cumulative number of informed nodes after
+	// step t; index 0 holds the initial state (the source).
+	InformedByStep []int
+	// Radius is the network radius.
+	Radius int
+}
+
+// AnalyzeProgress derives layer completion times from a finished run.
+func AnalyzeProgress(g *graph.Graph, res *radio.Result) (*Progress, error) {
+	layers, err := g.Layers()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	p := &Progress{Radius: len(layers) - 1}
+	for _, layer := range layers {
+		done := 0
+		for _, v := range layer {
+			at := res.InformedAt[v]
+			if at < 0 {
+				at = res.StepsSimulated + 1 // never informed: censored
+			}
+			if at > done {
+				done = at
+			}
+		}
+		p.LayerDone = append(p.LayerDone, done)
+	}
+
+	// Cumulative informed counts.
+	steps := res.StepsSimulated
+	counts := make([]int, steps+1)
+	for _, at := range res.InformedAt {
+		if at >= 0 && at <= steps {
+			counts[at]++
+		}
+	}
+	total := 0
+	p.InformedByStep = make([]int, steps+1)
+	for t := 0; t <= steps; t++ {
+		total += counts[t]
+		p.InformedByStep[t] = total
+	}
+	return p, nil
+}
+
+// PerLayerDelays returns LayerDone[l] - LayerDone[l-1]: the steps each
+// layer crossing cost.
+func (p *Progress) PerLayerDelays() []int {
+	if len(p.LayerDone) < 2 {
+		return nil
+	}
+	out := make([]int, 0, len(p.LayerDone)-1)
+	for l := 1; l < len(p.LayerDone); l++ {
+		out = append(out, p.LayerDone[l]-p.LayerDone[l-1])
+	}
+	return out
+}
+
+// SlowestLayer returns the layer index whose crossing cost the most steps
+// and that cost (layer 0 never qualifies). Returns (-1, 0) for radius 0.
+func (p *Progress) SlowestLayer() (layer, delay int) {
+	layer = -1
+	for l, d := range p.PerLayerDelays() {
+		if d > delay {
+			layer, delay = l+1, d
+		}
+	}
+	return layer, delay
+}
+
+// Timeline renders an ASCII chart (width columns) of the informed fraction
+// over time, like:
+//
+//	|▁▂▃▅▇█| 100% after 57 steps
+func (p *Progress) Timeline(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	n := p.InformedByStep[len(p.InformedByStep)-1]
+	if n == 0 {
+		return "(no progress)"
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	b.WriteByte('|')
+	last := len(p.InformedByStep) - 1
+	for col := 0; col < width; col++ {
+		t := (col + 1) * last / width
+		frac := float64(p.InformedByStep[t]) / float64(n)
+		idx := int(frac*float64(len(ramp))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	fmt.Fprintf(&b, "| %d/%d informed after %d steps", n, n, last)
+	return b.String()
+}
+
+// TopTransmitters returns the k nodes that transmitted most, busiest first
+// (ties broken by label).
+func (c *Collector) TopTransmitters(k int) [][2]int {
+	type pair struct{ node, n int }
+	pairs := make([]pair, 0, len(c.txPerNode))
+	for v, n := range c.txPerNode {
+		pairs = append(pairs, pair{v, n})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		return pairs[i].node < pairs[j].node
+	})
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	out := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = [2]int{pairs[i].node, pairs[i].n}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package adhocradio
+
+// Soak tests: larger-scale end-to-end runs of every protocol, skipped under
+// -short. They catch scaling regressions (step-budget exhaustion, quadratic
+// blowups) that the fast unit tests cannot.
+
+import "testing"
+
+func soakGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	src := NewRand(777)
+	gs := map[string]*Graph{
+		"path":  Path(2048),
+		"gnp":   GNPConnected(2048, 3.0/2048, src),
+		"tree":  RandomTree(2048, src),
+		"chain": StarChain(8, 128),
+	}
+	rl, err := RandomLayered(2048, 128, 0.25, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["layered"] = rl
+	cl, err := UniformCompleteLayered(2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs["complete"] = cl
+	return gs
+}
+
+func TestSoakRandomizedProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for name, g := range soakGraphs(t) {
+		for _, p := range []Protocol{NewOptimalRandomized(), NewDecay()} {
+			res, err := Broadcast(g, p, Config{Seed: 3}, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), name, err)
+			}
+			if !res.Completed {
+				t.Fatalf("%s on %s incomplete", p.Name(), name)
+			}
+		}
+	}
+}
+
+func TestSoakDeterministicProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	protos := []Protocol{
+		NewRoundRobin(),
+		NewSelectAndSend(),
+		NewInterleaved(NewRoundRobin(), NewSelectAndSend()),
+		NewDFSNeighborhood(),
+		NewSpontaneousLinear(),
+		NewObliviousDecay(5),
+	}
+	for name, g := range soakGraphs(t) {
+		for _, p := range protos {
+			res, err := Broadcast(g, p, Config{}, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), name, err)
+			}
+			if !res.Completed {
+				t.Fatalf("%s on %s incomplete", p.Name(), name)
+			}
+		}
+	}
+}
+
+func TestSoakCompleteLayeredProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g, err := UniformCompleteLayered(4096, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, NewCompleteLayered(), Config{}, Options{})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestSoakAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	c, err := BuildAdversarialNetwork(NewSelectAndSend(), AdversaryParams{N: 4096, D: 256, Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAdversarialNetwork(NewSelectAndSend(), c, 0); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := BuildDirectedAdversarialNetwork(NewObliviousDecay(2), DirectedAdversaryParams{N: 2048, D: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyDirectedAdversarialNetwork(NewObliviousDecay(2), dc, 0); err != nil {
+		t.Fatal(err)
+	}
+}
