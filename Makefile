@@ -1,0 +1,36 @@
+# The repository's verification gate. `make check` is exactly what CI runs
+# (.github/workflows/ci.yml), so a green local check means a green build.
+
+GO ?= go
+
+# Packages with concurrency-bearing code or parallel test harnesses; they
+# run under the race detector on every check. The root package carries the
+# soak tests, which -short skips; `make race-full` runs them raced too.
+RACE_PKGS := ./internal/radio/... ./internal/experiment/ .
+
+.PHONY: check build test vet radiolint race race-full fmt-check
+
+check: build vet fmt-check radiolint test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+radiolint:
+	$(GO) run ./cmd/radiolint ./...
+
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+race-full:
+	$(GO) test -race $(RACE_PKGS)
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

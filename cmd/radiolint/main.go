@@ -1,0 +1,116 @@
+// Command radiolint is the repository's static-analysis gate. It walks the
+// module, type-checks every non-test package, and runs the determinism and
+// simulator-contract passes from internal/analysis:
+//
+//	norandtime   no math/rand or wall clock in internal packages
+//	detmaprange  no order-dependent map iteration in determinism-critical packages
+//	seedplumb    no hidden seed forks or package-level rng state
+//	nopanic      no panic in library code paths
+//
+// Usage:
+//
+//	go run ./cmd/radiolint ./...
+//
+// The argument names the tree to analyze: "./..." (or a directory) analyzes
+// the module containing it. Diagnostics are printed as file:line:col:
+// [pass] message; the exit status is 1 when anything was found, 2 on a
+// loading or internal failure, and 0 on a clean tree. Findings are
+// suppressed per-line with //radiolint:ignore <pass> <reason> (see
+// CONTRIBUTING.md, "Determinism rules & static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adhocradio/internal/analysis"
+	"adhocradio/internal/analysis/detmaprange"
+	"adhocradio/internal/analysis/nopanic"
+	"adhocradio/internal/analysis/norandtime"
+	"adhocradio/internal/analysis/seedplumb"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detmaprange.Analyzer,
+	nopanic.Analyzer,
+	norandtime.Analyzer,
+	seedplumb.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: radiolint [-list] [./... | dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = strings.TrimSuffix(flag.Arg(0), "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+	moduleRoot, err := findModuleRoot(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radiolint:", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := analysis.Load(moduleRoot, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radiolint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radiolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(relativize(moduleRoot, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "radiolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize shortens diagnostic paths to be module-relative for readability.
+func relativize(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

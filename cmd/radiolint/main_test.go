@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/analysis"
+)
+
+// writeTree materializes a throwaway module so the test can seed the exact
+// regressions the gate exists to stop.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runGate(t *testing.T, root string) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := analysis.Load(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestGateCatchesSeededRegressions seeds a math/rand import and a map range
+// into an internal/core package and asserts the full analyzer battery
+// fails, which is the acceptance bar for the whole gate.
+func TestGateCatchesSeededRegressions(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		"internal/core/bad.go": `package core
+
+import "math/rand"
+
+func Order(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Draw() int { return rand.Int() }
+`,
+	})
+	diags := runGate(t, root)
+	var passes []string
+	for _, d := range diags {
+		passes = append(passes, d.Analyzer)
+	}
+	joined := strings.Join(passes, ",")
+	if !strings.Contains(joined, "norandtime") {
+		t.Errorf("seeded math/rand import not caught; findings: %v", diags)
+	}
+	if !strings.Contains(joined, "detmaprange") {
+		t.Errorf("seeded map range not caught; findings: %v", diags)
+	}
+}
+
+// TestGateCleanTree checks that an idiomatic tree passes with no findings.
+func TestGateCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		"internal/core/good.go": `package core
+
+import "sort"
+
+func Order(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//radiolint:ignore detmaprange keys are sorted before return
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+`,
+	})
+	if diags := runGate(t, root); len(diags) != 0 {
+		t.Fatalf("clean tree flagged: %v", diags)
+	}
+}

@@ -1,0 +1,198 @@
+// Package analysis is a minimal, dependency-free static-analysis framework
+// for the repository's own invariants. It exists because every result this
+// repo reproduces depends on runs being bit-for-bit replayable from a single
+// seed; the analyzers built on top of it (see cmd/radiolint) machine-check
+// the determinism and simulator-contract rules documented in
+// CONTRIBUTING.md.
+//
+// The framework deliberately mirrors a small slice of golang.org/x/tools'
+// analysis API (Analyzer, Pass, Reportf) so that a future migration to the
+// real multichecker is mechanical, but it is built only on the standard
+// library's go/ast, go/parser, go/token and go/types, keeping the module
+// dependency-free.
+//
+// # Suppression
+//
+// A finding is suppressed with a comment of the form
+//
+//	//radiolint:ignore <pass>[,<pass>...] <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory: a suppression without one is
+// itself reported as a diagnostic, so every silenced finding carries its
+// justification in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and suppression comments.
+	// It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run executes the pass over one package, reporting findings through
+	// the Pass. A returned error aborts the whole radiolint run (it means
+	// the pass itself failed, not that it found something).
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, located at a position in the analyzed tree.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a suppression comment covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressedAt(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the combined
+// findings sorted by position. Malformed suppression comments (missing pass
+// name or missing reason) are reported as findings of the pseudo-pass
+// "suppress".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, bad := range pkg.malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      bad.pos,
+				Analyzer: "suppress",
+				Message:  bad.reason,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// HasSegment reports whether the slash-separated import path contains seg as
+// a whole segment (so HasSegment("a/internal/core", "core") is true but
+// HasSegment("a/score", "core") is false).
+func HasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// suppression is one parsed //radiolint:ignore comment.
+type suppression struct {
+	passes []string
+	// lines the suppression covers: its own line, plus the next line when
+	// the comment stands alone.
+	lines [2]int
+}
+
+type malformedSuppression struct {
+	pos    token.Position
+	reason string
+}
+
+const ignorePrefix = "//radiolint:ignore"
+
+// parseSuppressions scans a file's comments for //radiolint:ignore markers.
+// src is the file's source, used to decide whether a comment stands alone on
+// its line (and therefore also covers the next line).
+func parseSuppressions(fset *token.FileSet, f *ast.File, src []byte) (sups []suppression, malformed []malformedSuppression) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				malformed = append(malformed, malformedSuppression{
+					pos:    pos,
+					reason: "radiolint:ignore without a pass name; use //radiolint:ignore <pass> <reason>",
+				})
+				continue
+			}
+			if len(fields) < 2 {
+				malformed = append(malformed, malformedSuppression{
+					pos:    pos,
+					reason: fmt.Sprintf("radiolint:ignore %s without a justification; a reason is mandatory", fields[0]),
+				})
+				continue
+			}
+			s := suppression{passes: strings.Split(fields[0], ",")}
+			s.lines[0] = pos.Line
+			if standaloneComment(src, pos) {
+				s.lines[1] = pos.Line + 1
+			}
+			sups = append(sups, s)
+		}
+	}
+	return sups, malformed
+}
+
+// standaloneComment reports whether only whitespace precedes the comment on
+// its line, i.e. the comment is not trailing a statement.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // start of file
+}

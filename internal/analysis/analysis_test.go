@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestHasSegment(t *testing.T) {
+	cases := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"adhocradio/internal/core", "core", true},
+		{"adhocradio/internal/core", "internal", true},
+		{"adhocradio/internal/score", "core", false},
+		{"core", "core", true},
+		{"adhocradio/internal/core/sub", "core", true},
+		{"adhocradio", "internal", false},
+	}
+	for _, c := range cases {
+		if got := HasSegment(c.path, c.seg); got != c.want {
+			t.Errorf("HasSegment(%q, %q) = %v, want %v", c.path, c.seg, got, c.want)
+		}
+	}
+}
+
+func TestMalformedSuppressionsReported(t *testing.T) {
+	pkgs, err := Load("testdata/malformed", "example.com/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 malformed-suppression findings, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a pass name") {
+		t.Errorf("first finding = %v, want missing-pass report", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "without a justification") {
+		t.Errorf("second finding = %v, want missing-reason report", diags[1])
+	}
+}
+
+func TestSuppressionCoversOwnAndNextLine(t *testing.T) {
+	pkgs, err := Load("testdata/malformed", "example.com/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs[0]
+	var file string
+	var line int
+	for name, sups := range pkg.sups {
+		for _, s := range sups {
+			if len(s.passes) == 1 && s.passes[0] == "nopanic" {
+				file, line = name, s.lines[0]
+			}
+		}
+	}
+	if file == "" {
+		t.Fatal("no well-formed suppression parsed from fixture")
+	}
+	mk := func(l int) token.Position { return token.Position{Filename: file, Line: l} }
+	if !pkg.suppressedAt(mk(line), "nopanic") {
+		t.Error("suppression does not cover its own line")
+	}
+	if !pkg.suppressedAt(mk(line+1), "nopanic") {
+		t.Error("standalone suppression does not cover the next line")
+	}
+	if pkg.suppressedAt(mk(line+2), "nopanic") {
+		t.Error("suppression leaks two lines down")
+	}
+	if pkg.suppressedAt(mk(line), "detmaprange") {
+		t.Error("suppression applies to a pass it does not name")
+	}
+}
+
+func TestLoadRejectsMissingTree(t *testing.T) {
+	if _, err := Load("testdata/does-not-exist", "x"); err == nil {
+		t.Fatal("Load of a missing tree succeeded")
+	}
+}

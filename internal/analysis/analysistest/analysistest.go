@@ -1,0 +1,102 @@
+// Package analysistest runs an analyzer over a fixture tree and checks its
+// findings against expectations written in the fixtures themselves: a line
+// expecting a diagnostic carries a trailing comment
+//
+//	// want "substring"
+//
+// and the test fails on any unmatched expectation or unexpected finding.
+// This keeps each analyzer's true-positive and suppression cases readable as
+// ordinary Go source under the analyzer's testdata directory.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"([^"]*)"`)
+
+// expectation is one `// want "..."` marker in a fixture.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the fixture tree rooted at dir as a module named modulePath,
+// runs the analyzer over every package, and compares findings against the
+// fixtures' want-comments. It returns the diagnostics for any extra
+// assertions the caller wants to make.
+func Run(t *testing.T, dir, modulePath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, modulePath)
+	if err != nil {
+		t.Fatalf("loading fixtures in %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	want := collectExpectations(t, dir)
+	for _, d := range diags {
+		if !matchExpectation(want, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	return diags
+}
+
+func collectExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	// Diagnostics carry absolute filenames; walk the absolute tree so the
+	// expectation positions compare equal.
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*expectation
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				want = append(want, &expectation{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures: %v", err)
+	}
+	return want
+}
+
+func matchExpectation(want []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range want {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if strings.Contains(d.Message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

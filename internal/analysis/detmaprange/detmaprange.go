@@ -1,0 +1,80 @@
+// Package detmaprange flags range statements over maps in the
+// determinism-critical packages of the simulator.
+//
+// Go randomizes map iteration order on purpose. In packages that build
+// transmission schedules, adversary constructions or anything else a replay
+// must reproduce exactly (radio, core, det, sequences, lowerbound,
+// selective, graph, exact — all under internal/), an ordered use of a map
+// range silently breaks the single-seed replayability the paper's results
+// depend on. The pass flags every `for k := range m` and `for k, v := range
+// m` over a map in those packages; a loop whose body is genuinely
+// order-insensitive (an accumulation into a set, a min/max fold) is
+// suppressed with //radiolint:ignore detmaprange <why the order cannot
+// matter>. A bare `for range m` — iterating only for the count — is always
+// allowed, since no element ever escapes the loop.
+package detmaprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the detmaprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmaprange",
+	Doc:  "flag map iteration in determinism-critical packages",
+	Run:  run,
+}
+
+// criticalSegments are the package names whose schedules and constructions
+// must be replayable.
+var criticalSegments = []string{
+	"radio", "core", "det", "sequences", "lowerbound", "selective", "graph", "exact",
+}
+
+func inScope(path string) bool {
+	if !analysis.HasSegment(path, "internal") {
+		return false
+	}
+	for _, seg := range criticalSegments {
+		if analysis.HasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if rng.Key == nil && rng.Value == nil {
+				return true // `for range m`: only the count is observed
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s: iteration order is randomized and breaks replayability; iterate over sorted keys, or suppress with a reason if the body is order-insensitive",
+				typeString(tv.Type))
+			return true
+		})
+	}
+	return nil
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,21 @@
+package detmaprange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+	"adhocradio/internal/analysis/detmaprange"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "adhocradio/internal", detmaprange.Analyzer)
+	if len(diags) < 2 {
+		t.Fatalf("want at least 2 true positives on the fixtures, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "sched.go" {
+			t.Errorf("finding outside the critical fixture package: %s", d)
+		}
+	}
+}

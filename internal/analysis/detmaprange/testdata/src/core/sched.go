@@ -1,0 +1,51 @@
+// Package core is a detmaprange fixture modelling a determinism-critical
+// package: map iteration order must never leak into outputs.
+package core
+
+// BuildOrder appends map keys in iteration order — the classic schedule
+// replay breaker.
+func BuildOrder(weights map[int]int) []int {
+	var order []int
+	for v := range weights { // want "range over map"
+		order = append(order, v)
+	}
+	return order
+}
+
+// FirstPair leaks both key and value of whichever entry iterates first.
+func FirstPair(weights map[int]int) (int, int) {
+	for k, v := range weights { // want "range over map"
+		return k, v
+	}
+	return 0, 0
+}
+
+// SumAll folds integer values; the fold is order-insensitive, so the
+// finding is suppressed with that justification.
+func SumAll(weights map[int]int) int {
+	total := 0
+	//radiolint:ignore detmaprange integer summation is order-insensitive
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// Count iterates only for the count; a bare `for range` never observes
+// element order and is always allowed.
+func Count(weights map[int]int) int {
+	n := 0
+	for range weights {
+		n++
+	}
+	return n
+}
+
+// Positions ranges over a slice, which is ordered and always fine.
+func Positions(xs []int) int {
+	total := 0
+	for i, x := range xs {
+		total += i * x
+	}
+	return total
+}

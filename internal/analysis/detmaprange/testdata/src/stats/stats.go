@@ -1,0 +1,13 @@
+// Package stats is not on the determinism-critical list, so detmaprange
+// leaves its map iteration alone.
+package stats
+
+// Keys may iterate in randomized order here; reporting packages sort their
+// own output where it matters.
+func Keys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the analyzed module.
+type Package struct {
+	// Path is the import path ("adhocradio/internal/core").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	sups      map[string][]suppression // filename -> parsed suppressions
+	malformed []malformedSuppression
+}
+
+func (p *Package) suppressedAt(pos token.Position, pass string) bool {
+	for _, s := range p.sups[pos.Filename] {
+		if s.lines[0] != pos.Line && s.lines[1] != pos.Line {
+			continue
+		}
+		for _, name := range s.passes {
+			if name == pass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks every non-test package under root, returning
+// them sorted by import path. modulePath overrides the module path; when
+// empty it is read from root's go.mod. Directories named testdata or vendor
+// and hidden directories are skipped.
+func Load(root, modulePath string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if modulePath == "" {
+		modulePath, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	srcs, err := parseTree(fset, root, modulePath)
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := toposort(srcs)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := map[string]*types.Package{}
+	imp := &moduleImporter{module: checked, std: importer.Default(), fset: fset}
+	var pkgs []*Package
+	for _, path := range order {
+		s := srcs[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, s.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		checked[path] = tpkg
+		pkg := &Package{
+			Path:  path,
+			Dir:   s.dir,
+			Fset:  fset,
+			Files: s.files,
+			Types: tpkg,
+			Info:  info,
+			sups:  map[string][]suppression{},
+		}
+		for i, f := range s.files {
+			name := fset.Position(f.Pos()).Filename
+			sups, malformed := parseSuppressions(fset, f, s.srcs[i])
+			pkg.sups[name] = sups
+			pkg.malformed = append(pkg.malformed, malformed...)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// pkgSrc is a parsed-but-unchecked package.
+type pkgSrc struct {
+	dir     string
+	files   []*ast.File
+	srcs    [][]byte
+	imports map[string]bool // module-internal imports only
+}
+
+func parseTree(fset *token.FileSet, root, modulePath string) (map[string]*pkgSrc, error) {
+	srcs := map[string]*pkgSrc{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		ipath := importPath(root, dir, modulePath)
+		s := srcs[ipath]
+		if s == nil {
+			s = &pkgSrc{dir: dir, imports: map[string]bool{}}
+			srcs[ipath] = s
+		}
+		s.files = append(s.files, f)
+		s.srcs = append(s.srcs, src)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p == modulePath || strings.HasPrefix(p, modulePath+"/") {
+				s.imports[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
+	}
+	return srcs, nil
+}
+
+func importPath(root, dir, modulePath string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// toposort orders packages so that every package follows its intra-module
+// imports, failing on import cycles.
+func toposort(srcs map[string]*pkgSrc) ([]string, error) {
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = visiting
+		deps := make([]string, 0, len(srcs[p].imports))
+		for dep := range srcs[p].imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := srcs[dep]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the analyzed tree", p, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter serves module-internal packages from the already-checked
+// set and delegates everything else to the toolchain importer, falling back
+// to type-checking standard-library source when no export data is
+// available.
+type moduleImporter struct {
+	module map[string]*types.Package
+	std    types.Importer
+	src    types.Importer
+	fset   *token.FileSet
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if m.src == nil {
+		m.src = importer.ForCompiler(m.fset, "source", nil)
+	}
+	pkg, srcErr := m.src.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("analysis: importing %s: %w (source fallback: %v)", path, err, srcErr)
+	}
+	return pkg, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (is the analysis root a module?)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}

@@ -1,0 +1,72 @@
+// Package nopanic forbids panic in library code paths.
+//
+// The house rule (CONTRIBUTING.md) is that library packages return errors;
+// panics are reserved for programmer errors on documented contracts. The
+// pass flags every panic call in a non-main package, with two escape
+// hatches:
+//
+//   - functions whose name starts with Must follow the standard library's
+//     MustCompile convention — panicking is their documented purpose — and
+//     are exempt;
+//
+//   - a genuinely unreachable invariant panic is kept but annotated with
+//     //radiolint:ignore nopanic <why it is unreachable or a caller bug>,
+//     so every remaining panic site carries its justification.
+//
+// Main packages (cmd/, examples/) are out of scope: top-level tools may
+// crash how they like.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the nopanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in library packages outside Must* helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Types.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Pkg.Info.Uses[ident].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"panic in library function %s: return an error, use a Must-prefixed name, or suppress with the invariant that makes it unreachable",
+			fn.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+	"adhocradio/internal/analysis/nopanic"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "example.com/fix", nopanic.Analyzer)
+	if len(diags) < 2 {
+		t.Fatalf("want at least 2 true positives on the fixtures, got %d: %v", len(diags), diags)
+	}
+}

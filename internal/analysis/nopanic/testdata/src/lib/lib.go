@@ -1,0 +1,44 @@
+// Package lib is a nopanic fixture for library code: panics must become
+// errors, Must-helpers, or carry their invariant as a suppression.
+package lib
+
+// Parse panics on bad input instead of returning an error.
+func Parse(s string) int {
+	if s == "" {
+		panic("lib: empty input") // want "panic in library function Parse"
+	}
+	return len(s)
+}
+
+// Table is a fixture type.
+type Table struct{ rows int }
+
+// Row panics on a bad index instead of returning an error.
+func (t *Table) Row(i int) int {
+	if i < 0 || i >= t.rows {
+		panic("lib: row out of range") // want "panic in library function Row"
+	}
+	return i
+}
+
+// MustParse follows the regexp.MustCompile convention: panicking is its
+// documented purpose, so the pass exempts Must-prefixed functions.
+func MustParse(s string) int {
+	if s == "" {
+		panic("lib: empty input")
+	}
+	return len(s)
+}
+
+// double keeps a genuinely unreachable invariant panic, annotated with the
+// invariant that makes it dead.
+func double(n int) int {
+	if n < 0 {
+		//radiolint:ignore nopanic n is always a slice length here, never negative
+		panic("lib: negative length")
+	}
+	return 2 * n
+}
+
+// Grow exercises double so the fixture has no dead code.
+func Grow(xs []int) int { return double(len(xs)) }

@@ -1,0 +1,7 @@
+// Command tool shows that main packages are out of nopanic's scope:
+// top-level tools may crash how they like.
+package main
+
+func main() {
+	panic("tools may crash")
+}

@@ -1,0 +1,77 @@
+// Package norandtime forbids ambient nondeterminism sources — math/rand and
+// the wall clock — in the simulator's internal packages.
+//
+// Every run of the simulator must be bit-for-bit replayable from a single
+// seed, which is why internal/rng pins xoshiro256** instead of math/rand
+// (whose algorithm is not stable across Go releases, and whose global
+// functions share hidden state). The simulator is step-driven, so wall-clock
+// time has no business in protocol or algorithm code either: time.Now,
+// time.Since and time.Sleep are banned alongside the math/rand and
+// math/rand/v2 imports. Command-line tools under cmd/ and examples/ may
+// measure wall time freely; only packages under an internal/ segment are in
+// scope, and the analysis framework itself is exempt.
+package norandtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the norandtime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "norandtime",
+	Doc:  "forbid math/rand and wall-clock time in internal simulator packages",
+	Run:  run,
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "use adhocradio/internal/rng: runs must be replayable from a single seed",
+	"math/rand/v2": "use adhocradio/internal/rng: runs must be replayable from a single seed",
+}
+
+var bannedTimeFuncs = map[string]string{
+	"Now":   "the simulator is step-driven; wall-clock time breaks replayability",
+	"Since": "the simulator is step-driven; wall-clock time breaks replayability",
+	"Sleep": "the simulator is synchronous; real sleeping has no meaning in it",
+}
+
+func inScope(path string) bool {
+	return analysis.HasSegment(path, "internal") &&
+		!strings.Contains(path, "internal/analysis")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(spec.Pos(), "import of %s is forbidden in internal packages: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if why, ok := bannedTimeFuncs[sel.Sel.Name]; ok {
+				pass.Reportf(sel.Pos(), "time.%s is forbidden in internal packages: %s", sel.Sel.Name, why)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package norandtime_test
+
+import (
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+	"adhocradio/internal/analysis/norandtime"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "adhocradio/internal", norandtime.Analyzer)
+	if len(diags) < 2 {
+		t.Fatalf("want at least 2 true positives on the fixtures, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestOutOfScope(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/outofscope", "example.com/tools", norandtime.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("non-internal package flagged: %v", diags)
+	}
+}

@@ -1,0 +1,9 @@
+// Package clock sits outside any internal/ tree, so norandtime leaves its
+// wall-clock use alone.
+package clock
+
+import "time"
+
+// Stamp may use the wall clock freely: command-line tools and other
+// non-internal packages are out of scope.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,29 @@
+// Package sim is a norandtime fixture modelling a simulator-internal
+// package: ambient randomness and the wall clock are banned here.
+package sim
+
+import (
+	"math/rand"           // want "import of math/rand is forbidden"
+	randv2 "math/rand/v2" // want "import of math/rand/v2 is forbidden"
+	"time"
+)
+
+// Jitter draws from the global math/rand stream and consults the wall
+// clock, all of which break single-seed replayability.
+func Jitter() int {
+	start := time.Now() // want "time.Now is forbidden"
+	_ = start
+	time.Sleep(time.Millisecond) // want "time.Sleep is forbidden"
+	return rand.Int() + randv2.Int()
+}
+
+// Elapsed measures wall time but carries an explicit justification, so the
+// finding is suppressed.
+func Elapsed(t0 time.Time) time.Duration {
+	//radiolint:ignore norandtime fixture: demonstrates a justified suppression
+	return time.Since(t0)
+}
+
+// Budget handles time.Duration values, which is fine: only the clock and
+// sleeping are banned, not the time types.
+func Budget(d time.Duration) time.Duration { return 2 * d }

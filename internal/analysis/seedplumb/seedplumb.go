@@ -1,0 +1,148 @@
+// Package seedplumb enforces the seed-plumbing discipline around
+// internal/rng.
+//
+// The simulator's reproducibility story is that every random stream is
+// derived from the master seed: each node owns an independent stream from
+// (seed, label) via rng.NewStream, and harnesses plumb a *rng.Source down
+// explicitly. Two patterns quietly break that property and are flagged
+// here:
+//
+//   - a function that already receives a *rng.Source parameter but also
+//     constructs a fresh generator from a literal seed (rng.New(42)) — the
+//     hidden fork ignores the plumbed stream, so two call sites that pass
+//     different sources still replay identically, and the per-node
+//     independent-stream property is lost;
+//
+//   - a package-level variable of type *rng.Source (or rng.Source) — global
+//     generator state is shared across runs and call sites, so replaying a
+//     run no longer starts from a known state.
+//
+// The rng package is recognized by import path ("...something/rng"), which
+// lets the pass's fixtures model it without importing the real one.
+package seedplumb
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the seedplumb pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedplumb",
+	Doc:  "flag hidden seed forks and package-level rng state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkPackageVars(pass, d)
+			case *ast.FuncDecl:
+				checkHiddenFork(pass, info, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPackageVars reports package-level variables of rng.Source type.
+func checkPackageVars(pass *analysis.Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj == nil || !isRNGSource(obj.Type()) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"package-level rng state %s: generators must be plumbed explicitly so runs replay from a known state",
+				name.Name)
+		}
+	}
+}
+
+// checkHiddenFork reports rng.New(<literal>) calls inside functions that
+// already receive a *rng.Source parameter.
+func checkHiddenFork(pass *analysis.Pass, info *types.Info, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return
+	}
+	var plumbed string
+	for _, field := range fn.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isRNGSource(tv.Type) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			plumbed = field.Names[0].Name
+		} else {
+			plumbed = "the source parameter"
+		}
+		break
+	}
+	if plumbed == "" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Name() != "New" || !isRNGPackage(obj.Pkg()) {
+			return true
+		}
+		if len(call.Args) != 1 || !isLiteral(call.Args[0]) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"hidden seed fork: %s already receives %s but constructs a fresh generator from a literal seed; derive substreams from the plumbed source (rng.NewStream) instead",
+			fn.Name.Name, plumbed)
+		return true
+	})
+}
+
+// isRNGSource reports whether t is rng.Source or *rng.Source for a package
+// recognized by isRNGPackage.
+func isRNGSource(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && isRNGPackage(obj.Pkg())
+}
+
+func isRNGPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "rng" || strings.HasSuffix(path, "/rng")
+}
+
+func isLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return isLiteral(e.X)
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package seedplumb_test
+
+import (
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+	"adhocradio/internal/analysis/seedplumb"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "adhocradio/internal/spfix", seedplumb.Analyzer)
+	if len(diags) < 2 {
+		t.Fatalf("want at least 2 true positives on the fixtures, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,38 @@
+// Package app is a seedplumb fixture: it takes plumbed rng sources and
+// exhibits the hidden-fork and global-state patterns the pass bans.
+package app
+
+import "adhocradio/internal/spfix/rng"
+
+// globalSrc is hidden package-level generator state.
+var globalSrc *rng.Source // want "package-level rng state"
+
+// pool holds generator state by value, which is just as bad.
+var pool rng.Source // want "package-level rng state"
+
+// Shuffle receives a plumbed source but forks a fresh literal-seeded
+// generator, so every call site replays identically no matter what it
+// plumbed in.
+func Shuffle(xs []int, src *rng.Source) {
+	fresh := rng.New(42) // want "hidden seed fork"
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(fresh.Uint64() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Derive also forks from a literal, but carries a justification and is
+// suppressed.
+func Derive(src *rng.Source) *rng.Source {
+	//radiolint:ignore seedplumb fixture: demonstrates a justified suppression
+	return rng.New(7)
+}
+
+// FromParam seeds from a plumbed value, which is the sanctioned pattern.
+func FromParam(seed uint64, src *rng.Source) *rng.Source {
+	return rng.New(seed)
+}
+
+// Fresh constructs from a literal but receives no source, so nothing was
+// bypassed; top-level harnesses seed themselves exactly like this.
+func Fresh() *rng.Source { return rng.New(1234) }

@@ -1,0 +1,19 @@
+// Package rng is a miniature stand-in for adhocradio/internal/rng; the
+// seedplumb pass recognizes rng packages by their import-path suffix, which
+// lets the fixtures model one without importing the real thing.
+package rng
+
+// Source is a toy deterministic generator.
+type Source struct{ state uint64 }
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// NewStream derives a substream for id from the master seed.
+func NewStream(seed, id uint64) *Source { return &Source{state: seed ^ (id + 1)} }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}

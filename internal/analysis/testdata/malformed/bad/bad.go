@@ -1,0 +1,21 @@
+// Package bad carries malformed suppression comments; the framework must
+// report each one instead of silently honoring it.
+package bad
+
+// A is annotated with an ignore that names no pass.
+func A() int {
+	//radiolint:ignore
+	return 1
+}
+
+// B is annotated with an ignore that gives no reason.
+func B() int {
+	//radiolint:ignore nopanic
+	return 2
+}
+
+// C is annotated correctly; well-formed suppressions are not reported.
+func C() int {
+	//radiolint:ignore nopanic fixture: well-formed suppression with a reason
+	return 3
+}

@@ -41,7 +41,7 @@ func (s *Set) grow(i int) {
 // negative, so this is always a caller bug.
 func (s *Set) Add(i int) {
 	if i < 0 {
-		panic("bitset: Add of negative value")
+		panic("bitset: Add of negative value") //radiolint:ignore nopanic labels are never negative; a negative Add is always a caller bug
 	}
 	s.grow(i)
 	s.words[i/wordBits] |= 1 << uint(i%wordBits)

@@ -101,15 +101,26 @@ func (p *Protocol) Name() string {
 	}
 }
 
-// NewNode implements radio.Protocol. The schedule is built lazily from the
-// first configuration seen; a schedule construction failure indicates
-// invalid parameters (a programmer error) and panics.
-func (p *Protocol) NewNode(label int, cfg radio.Config) radio.NodeProgram {
+// Validate builds the transmission schedule for cfg and reports any
+// parameter error. Callers with untrusted parameters check here before
+// handing the protocol to a simulator; NewNode itself cannot return an
+// error (the radio.Protocol interface has no error path) and panics on
+// configurations Validate would have rejected.
+func (p *Protocol) Validate(cfg radio.Config) error {
 	p.once.Do(func() {
 		p.sched, p.err = buildSchedule(cfg.LabelBound(), p.params)
 	})
-	if p.err != nil {
-		panic(fmt.Sprintf("core: invalid parameters: %v", p.err))
+	return p.err
+}
+
+// NewNode implements radio.Protocol. The schedule is built lazily from the
+// first configuration seen; a schedule construction failure indicates
+// invalid parameters — check with Validate first, or the programmer error
+// panics here.
+func (p *Protocol) NewNode(label int, cfg radio.Config) radio.NodeProgram {
+	if err := p.Validate(cfg); err != nil {
+		//radiolint:ignore nopanic radio.Protocol.NewNode has no error path; Validate exposes this error before any node is built
+		panic(fmt.Sprintf("core: invalid parameters: %v", err))
 	}
 	return &node{
 		sched:      p.sched,

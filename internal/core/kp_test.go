@@ -250,3 +250,26 @@ func TestUniversalStepHelpsOnHighInDegreeFronts(t *testing.T) {
 	}
 	t.Logf("median broadcast time: full=%d ablated=%d", full, ablated)
 }
+
+// TestValidateExposesParameterErrors covers the error path NewNode can only
+// panic on: Validate reports invalid configurations before any node is
+// built, and a valid configuration validates clean.
+func TestValidateExposesParameterErrors(t *testing.T) {
+	bad := New()
+	err := bad.Validate(radio.Config{N: 0}) // label bound -1
+	if err == nil || !strings.Contains(err.Error(), "label bound") {
+		t.Fatalf("Validate on an invalid config = %v, want label-bound error", err)
+	}
+	// The error is sticky: the same protocol value keeps reporting it.
+	if err2 := bad.Validate(radio.Config{N: 64}); err2 == nil {
+		t.Fatal("Validate forgot the schedule error on a second call")
+	}
+
+	good := New()
+	if err := good.Validate(radio.Config{N: 64}); err != nil {
+		t.Fatalf("Validate on a valid config = %v", err)
+	}
+	if prog := good.NewNode(1, radio.Config{N: 64}); prog == nil {
+		t.Fatal("NewNode returned nil after successful Validate")
+	}
+}

@@ -20,6 +20,7 @@ package exact
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"adhocradio/internal/graph"
 )
@@ -59,6 +60,23 @@ func DecaySchedule(labelBound int) Schedule {
 
 // state encodes (active, pending) as two bitmasks over node indices.
 type state struct{ active, pending uint32 }
+
+// sortedStates returns dist's keys ordered by (active, pending), giving the
+// evolution loops a deterministic iteration order.
+func sortedStates(dist map[state]float64) []state {
+	states := make([]state, 0, len(dist))
+	//radiolint:ignore detmaprange keys are sorted before use
+	for st := range dist {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].active != states[j].active {
+			return states[i].active < states[j].active
+		}
+		return states[i].pending < states[j].pending
+	})
+	return states
+}
 
 // Result is the exact analysis output.
 type Result struct {
@@ -116,7 +134,11 @@ func ExpectedBroadcastTime(g *graph.Graph, sched Schedule, maxSteps int, tol flo
 		p := sched.ProbAt(t)
 		sourceOnly := sched.SourceOnly != nil && sched.SourceOnly(t)
 		next := make(map[state]float64, len(dist)*2)
-		for st, mass := range dist {
+		// Iterate states in a fixed order: float accumulation into next is
+		// not associative, so map order would perturb low-order bits across
+		// runs and the oracle must be bit-for-bit reproducible.
+		for _, st := range sortedStates(dist) {
+			mass := dist[st]
 			if mass == 0 {
 				continue
 			}
@@ -155,9 +177,11 @@ func ExpectedBroadcastTime(g *graph.Graph, sched Schedule, maxSteps int, tol flo
 				next[ns] += mass * prob
 			})
 		}
-		// Absorb completed states.
-		for st, mass := range next {
+		// Absorb completed states, again in fixed order for reproducible
+		// float sums.
+		for _, st := range sortedStates(next) {
 			if st.active|st.pending == full {
+				mass := next[st]
 				absorbed += mass
 				expected += mass * float64(t)
 				delete(next, st)

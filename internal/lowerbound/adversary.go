@@ -213,15 +213,8 @@ func (b *builder) run() error {
 // order, for determinism) and records transmitters and payloads.
 func (b *builder) collectActions(t int) {
 	b.txLabels = b.txLabels[:0]
-	for lbl := range b.txPayloads {
-		delete(b.txPayloads, lbl)
-	}
-	labels := make([]int, 0, len(b.programs))
-	for lbl := range b.programs {
-		labels = append(labels, lbl)
-	}
-	sort.Ints(labels)
-	for _, lbl := range labels {
+	clear(b.txPayloads)
+	for _, lbl := range sortedLabels(b.programs) {
 		if tx, payload := b.programs[lbl].Act(t); tx {
 			b.txLabels = append(b.txLabels, lbl)
 			b.txPayloads[lbl] = payload
@@ -497,8 +490,8 @@ func VerifyRealRun(p radio.DeterministicProtocol, c *Construction, maxSteps int)
 	if err != nil {
 		return res, fmt.Errorf("lowerbound: real run: %w", err)
 	}
-	for v, want := range c.InformedAt {
-		if res.InformedAt[v] != want {
+	for _, v := range sortedLabels(c.InformedAt) {
+		if want := c.InformedAt[v]; res.InformedAt[v] != want {
 			return res, fmt.Errorf("lowerbound: Lemma 9 violated: node %d informed at %d in the real run, %d in the construction",
 				v, res.InformedAt[v], want)
 		}

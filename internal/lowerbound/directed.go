@@ -76,12 +76,11 @@ func newLayerGame(candidates []int, target int) *layerGame {
 // returns (removedCount, false info) via the second return being false.
 func (g *layerGame) observe(transmitting func(label int) bool) (informer int, crossed bool, removed int) {
 	y := make([]int, 0, 4)
-	for c := range g.live {
+	for _, c := range sortedLabels(g.live) {
 		if transmitting(c) {
 			y = append(y, c)
 		}
 	}
-	sort.Ints(y)
 	idx := len(g.records)
 	g.records = append(g.records, y)
 	g.counts = append(g.counts, len(y))
@@ -127,8 +126,9 @@ func (g *layerGame) observe(transmitting func(label int) bool) (informer int, cr
 		// the frozen set's history is exactly the steps before the cross.
 		return y[0], true, 0
 	}
-	// Commit the batch.
-	for m := range batch {
+	// Commit the batch. Removal and count decrements commute, but iterate
+	// in sorted order anyway so the whole game trace is order-independent.
+	for _, m := range sortedLabels(batch) {
 		delete(g.live, m)
 		for _, i := range g.stepsOf[m] {
 			g.counts[i]--
@@ -140,12 +140,7 @@ func (g *layerGame) observe(transmitting func(label int) bool) (informer int, cr
 
 // frozen returns the final layer, sorted.
 func (g *layerGame) frozen() []int {
-	out := make([]int, 0, len(g.live))
-	for c := range g.live {
-		out = append(out, c)
-	}
-	sort.Ints(out)
-	return out
+	return sortedLabels(g.live)
 }
 
 // BuildDirectedLayered plays the Clementi–Monti–Silvestri-style game of
@@ -202,15 +197,8 @@ func BuildDirectedLayered(p radio.DeterministicProtocol, params DirectedParams) 
 	actions := map[int]any{}
 	step := func() {
 		t++
-		for k := range actions {
-			delete(actions, k)
-		}
-		labels := make([]int, 0, len(programs))
-		for lbl := range programs {
-			labels = append(labels, lbl)
-		}
-		sort.Ints(labels)
-		for _, lbl := range labels {
+		clear(actions)
+		for _, lbl := range sortedLabels(programs) {
 			if tx, payload := programs[lbl].Act(t); tx {
 				actions[lbl] = payload
 			}
@@ -315,7 +303,7 @@ func BuildDirectedLayered(p radio.DeterministicProtocol, params DirectedParams) 
 			deliverFixed()
 			// Live candidates hear the previous layer's singletons.
 			if w, ok := singletonOf(prevLayer); ok {
-				for c := range game.live {
+				for _, c := range sortedLabels(game.live) {
 					if !transmitting(c) {
 						programs[c].Deliver(t, radio.Message{From: w, Payload: actions[w]})
 					}
@@ -386,8 +374,8 @@ func VerifyDirectedRealRun(p radio.DeterministicProtocol, c *DirectedConstructio
 	if err != nil {
 		return res, fmt.Errorf("lowerbound: directed real run: %w", err)
 	}
-	for v, want := range c.InformedAt {
-		if res.InformedAt[v] != want {
+	for _, v := range sortedLabels(c.InformedAt) {
+		if want := c.InformedAt[v]; res.InformedAt[v] != want {
 			return res, fmt.Errorf("lowerbound: directed equivalence violated: node %d informed at %d, construction says %d",
 				v, res.InformedAt[v], want)
 		}

@@ -1,0 +1,16 @@
+package lowerbound
+
+import "sort"
+
+// sortedLabels returns m's integer keys in ascending order. The adversary
+// constructions must be replayable, so every walk over a label-keyed map
+// goes through this helper instead of Go's randomized map iteration.
+func sortedLabels[V any](m map[int]V) []int {
+	labels := make([]int, 0, len(m))
+	//radiolint:ignore detmaprange keys are sorted before return
+	for lbl := range m {
+		labels = append(labels, lbl)
+	}
+	sort.Ints(labels)
+	return labels
+}

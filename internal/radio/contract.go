@@ -70,9 +70,19 @@ func (c *contractProtocol) wrap(label int, prog NodeProgram) NodeProgram {
 	return &contractNode{
 		inner:       prog,
 		label:       label,
-		report:      c.report,
+		report:      c.syncReport,
 		spontaneous: c.Spontaneous(),
 	}
+}
+
+// syncReport serializes violation reports across node programs: parallel
+// harnesses drive different nodes from different goroutines, and the
+// callbacks tests pass (appending to a shared slice, say) are not
+// necessarily safe to call concurrently.
+func (c *contractProtocol) syncReport(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report(err)
 }
 
 // contractProtocolNA adds the neighbor-aware constructor when the inner

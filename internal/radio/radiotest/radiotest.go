@@ -5,6 +5,7 @@
 package radiotest
 
 import (
+	"sort"
 	"testing"
 
 	"adhocradio/internal/graph"
@@ -67,11 +68,18 @@ func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 	if len(seeds) == 0 {
 		seeds = []uint64{1, 2}
 	}
-	for name, g := range Battery(7) {
+	battery := Battery(7)
+	names := make([]string, 0, len(battery))
+	//radiolint:ignore detmaprange names are sorted before use
+	for name := range battery {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if opt.Skip[name] {
 			continue
 		}
-		name, g := name, g
+		g := battery[name]
 		t.Run(name, func(t *testing.T) {
 			dist, _ := g.BFSLayers()
 			for _, seed := range seeds {

@@ -77,7 +77,7 @@ func (s *Source) Uint64() uint64 {
 // always indicates a caller bug rather than a runtime condition.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn called with n <= 0")
+		panic("rng: Intn called with n <= 0") //radiolint:ignore nopanic documented caller-bug contract, mirroring math/rand.Intn
 	}
 	return int(s.Uint64n(uint64(n)))
 }
@@ -86,7 +86,7 @@ func (s *Source) Intn(n int) int {
 // nearly-divisionless method. It panics if n == 0.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
-		panic("rng: Uint64n called with n == 0")
+		panic("rng: Uint64n called with n == 0") //radiolint:ignore nopanic documented caller-bug contract, mirroring math/rand.Intn
 	}
 	hi, lo := bits.Mul64(s.Uint64(), n)
 	if lo < n {
@@ -161,7 +161,7 @@ func (s *Source) Shuffle(xs []int) {
 // order. It panics if k > n or k < 0.
 func (s *Source) Sample(n, k int) []int {
 	if k < 0 || k > n {
-		panic("rng: Sample called with k out of range")
+		panic("rng: Sample called with k out of range") //radiolint:ignore nopanic documented caller-bug contract, mirroring math/rand.Perm
 	}
 	// Floyd's algorithm: O(k) expected, no O(n) allocation.
 	chosen := make(map[int]struct{}, k)
@@ -186,7 +186,7 @@ func (s *Source) Geometric(p float64) int {
 		return 0
 	}
 	if p <= 0 {
-		panic("rng: Geometric called with p <= 0")
+		panic("rng: Geometric called with p <= 0") //radiolint:ignore nopanic documented caller-bug contract: p is validated by every in-repo caller
 	}
 	n := 0
 	for !s.Bernoulli(p) {

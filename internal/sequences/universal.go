@@ -43,11 +43,13 @@ type Universal struct {
 }
 
 // Log2 returns log2(x) for a positive power of two, or an error otherwise.
+// The 64-bit bit twiddling is explicit: uint is 32 bits on 32-bit
+// platforms, which would truncate label bounds above 2³².
 func Log2(x int) (int, error) {
 	if x <= 0 || x&(x-1) != 0 {
 		return 0, fmt.Errorf("sequences: %d is not a positive power of two", x)
 	}
-	return bits.TrailingZeros(uint(x)), nil
+	return bits.TrailingZeros64(uint64(x)), nil
 }
 
 // CeilLog2 returns ⌈log2 x⌉ for x >= 1.
@@ -55,7 +57,7 @@ func CeilLog2(x int) int {
 	if x <= 1 {
 		return 0
 	}
-	return bits.Len(uint(x - 1))
+	return bits.Len64(uint64(x - 1))
 }
 
 // Build constructs the universal sequence for label bound r and assumed

@@ -1,6 +1,7 @@
 package sequences
 
 import (
+	"math/bits"
 	"strings"
 	"testing"
 )
@@ -18,6 +19,31 @@ func TestLog2(t *testing.T) {
 		got, err := Log2(c.x)
 		if (err == nil) != c.ok || (c.ok && got != c.want) {
 			t.Errorf("Log2(%d) = %d, %v", c.x, got, err)
+		}
+	}
+}
+
+// TestLog2Above32Bits guards the 64-bit bit twiddling: bits.TrailingZeros
+// and bits.Len on plain uint truncate label bounds above 2³² on 32-bit
+// platforms. The inputs only fit in int on 64-bit platforms, so the test
+// skips elsewhere (where such bounds are unrepresentable anyway).
+func TestLog2Above32Bits(t *testing.T) {
+	if bits.UintSize < 64 {
+		t.Skip("values above 2^32 do not fit in int on this platform")
+	}
+	for _, c := range []struct{ shift, want int }{
+		{33, 33}, {40, 40}, {62, 62},
+	} {
+		x := int(int64(1) << uint(c.shift))
+		got, err := Log2(x)
+		if err != nil || got != c.want {
+			t.Errorf("Log2(1<<%d) = %d, %v; want %d", c.shift, got, err, c.want)
+		}
+		if got := CeilLog2(x); got != c.want {
+			t.Errorf("CeilLog2(1<<%d) = %d, want %d", c.shift, got, c.want)
+		}
+		if got := CeilLog2(x + 1); got != c.want+1 {
+			t.Errorf("CeilLog2(1<<%d + 1) = %d, want %d", c.shift, got, c.want+1)
 		}
 	}
 }
