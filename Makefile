@@ -6,9 +6,13 @@ GO ?= go
 # Packages with concurrency-bearing code or parallel test harnesses; they
 # run under the race detector on every check. The root package carries the
 # soak tests, which -short skips; `make race-full` runs them raced too.
-RACE_PKGS := ./internal/radio/... ./internal/experiment/ .
+RACE_PKGS := ./internal/radio/... ./internal/experiment/... .
 
-.PHONY: check build test vet radiolint race race-full fmt-check
+# Where `make bench-smoke` writes its BENCH_*.json record; CI uploads the
+# same directory as a build artifact.
+BENCH_DIR ?= bench-out
+
+.PHONY: check build test vet radiolint race race-full fmt-check bench-smoke
 
 check: build vet fmt-check radiolint test race
 
@@ -29,6 +33,12 @@ race:
 
 race-full:
 	$(GO) test -race $(RACE_PKGS)
+
+# A quick-scale end-to-end run of the whole experiment registry: parallel
+# across all cores, shape checks enforced (-verify exits non-zero on a
+# qualitative-claim regression), machine-readable record left in BENCH_DIR.
+bench-smoke:
+	$(GO) run ./cmd/radiobench -quick -parallel 0 -verify -json $(BENCH_DIR)
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -39,6 +39,7 @@
 package adhocradio
 
 import (
+	"context"
 	"io"
 
 	"adhocradio/internal/core"
@@ -310,14 +311,23 @@ func BuildUniversalSequenceRelaxed(r, d int) (*UniversalSequence, error) {
 // Experiments lists the registered reproduction experiments.
 func Experiments() []experiment.Experiment { return experiment.Registry() }
 
-// RunExperiment runs one experiment by ID ("E1".."E8") and renders its
+// RunExperiment runs one experiment by ID ("E1".."E14") and renders its
 // table to w.
 func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) (*ExperimentTable, error) {
+	return RunExperimentContext(context.Background(), id, cfg, w)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: a cancelled ctx
+// stops the run between measurement points. Set cfg.Parallel to shard
+// independent points and trials across workers — the engine derives every
+// random stream from (cfg.Seed, point/trial index), so the table is
+// bit-identical for every worker count.
+func RunExperimentContext(ctx context.Context, id string, cfg ExperimentConfig, w io.Writer) (*ExperimentTable, error) {
 	e, err := experiment.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	tab, err := e.Run(cfg)
+	tab, err := e.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

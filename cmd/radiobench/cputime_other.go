@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// cpuTime is unavailable on this platform; the JSON record reports 0 and
+// omits the cpu_ms field.
+func cpuTime() time.Duration { return 0 }

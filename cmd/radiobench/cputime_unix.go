@@ -1,0 +1,22 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative CPU time (user + system), the
+// denominator of the engine's parallel efficiency: wall time shrinks with
+// workers while CPU time should stay roughly flat.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toDur := func(tv syscall.Timeval) time.Duration {
+		return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+	}
+	return toDur(ru.Utime) + toDur(ru.Stime)
+}

@@ -1,24 +1,40 @@
 // Command radiobench regenerates the reproduction experiments E1–E14 of
-// DESIGN.md and prints their tables (optionally also as CSV files).
+// DESIGN.md and prints their tables (optionally also as CSV files and as a
+// machine-readable BENCH_<id>.json record).
 //
 // Usage:
 //
-//	radiobench                 # run everything at full scale
+//	radiobench                 # run everything at full scale, all cores
 //	radiobench -only E4,E6     # a subset
 //	radiobench -quick          # reduced sizes (seconds instead of minutes)
+//	radiobench -parallel 1     # sequential (bit-identical to any -parallel)
 //	radiobench -csv out/       # additionally write one CSV per table
+//	radiobench -json out/      # additionally write out/BENCH_<runid>.json
+//	radiobench -verify         # assert the paper's qualitative claims
+//
+// The experiment engine derives every random stream from (seed, point/trial
+// index), so the tables — and the deterministic portion of the JSON — are
+// bit-identical for every -parallel value; workers only change wall time.
+//
+// SIGINT cancels the run between measurement points: completed tables are
+// still written, and the JSON record is emitted with "interrupted": true.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"adhocradio"
 	"adhocradio/internal/experiment"
+	"adhocradio/internal/experiment/benchjson"
 )
 
 func main() {
@@ -30,14 +46,20 @@ func main() {
 
 func run() error {
 	var (
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		quick  = flag.Bool("quick", false, "reduced problem sizes")
-		trials = flag.Int("trials", 0, "trials per randomized point (0 = per-experiment default)")
-		seed   = flag.Uint64("seed", 1, "master seed")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
-		verify = flag.Bool("verify", false, "assert the paper's qualitative claims on each table (full scale only)")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "reduced problem sizes")
+		trials   = flag.Int("trials", 0, "trials per randomized point (0 = per-experiment default)")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent points/trials (0 = all cores, 1 = sequential; output is identical either way)")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
+		jsonDir  = flag.String("json", "", "directory to write the BENCH_<runid>.json record (created if missing)")
+		runID    = flag.String("runid", "", "run identifier for the JSON file name (default: <quick|full>_seed<seed>)")
+		verify   = flag.Bool("verify", false, "assert the paper's qualitative claims on each table (scale-sensitive checks are skipped under -quick)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -45,48 +67,168 @@ func run() error {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	cfg := adhocradio.ExperimentConfig{Seed: *seed, Quick: *quick, Trials: *trials}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := adhocradio.ExperimentConfig{Seed: *seed, Quick: *quick, Trials: *trials, Parallel: workers}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return err
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("creating output directory: %w", err)
 		}
 	}
 
+	id := *runID
+	if id == "" {
+		mode := "full"
+		if *quick {
+			mode = "quick"
+		}
+		id = fmt.Sprintf("%s_seed%d", mode, *seed)
+	}
+	record := &benchjson.Run{
+		Schema:     benchjson.SchemaVersion,
+		ID:         id,
+		Seed:       *seed,
+		Quick:      *quick,
+		Trials:     *trials,
+		Parallel:   *parallel,
+		Workers:    workers,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	record.Experiments = []benchjson.Experiment{}
+
+	var (
+		failures    []string
+		interrupted bool
+	)
+	totalStart := time.Now()
+	totalCPU := cpuTime()
 	for _, e := range adhocradio.Experiments() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
-		tab, err := e.Run(cfg)
+		cpu0 := cpuTime()
+		tab, err := e.Run(ctx, cfg)
 		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if err := tab.Render(os.Stdout); err != nil {
 			return err
 		}
+		je := benchjson.FromTable(tab)
+		je.Timing = &benchjson.Timing{
+			WallMS: time.Since(start).Milliseconds(),
+			CPUMS:  (cpuTime() - cpu0).Milliseconds(),
+		}
 		if *verify {
-			if check, ok := experiment.ShapeChecks()[e.ID]; ok {
-				if err := check(tab); err != nil {
-					return fmt.Errorf("shape check failed: %w", err)
-				}
+			je.ShapeCheck = checkShape(e.ID, tab, *quick)
+			switch {
+			case je.ShapeCheck == "pass":
 				fmt.Printf("shape check: the paper's claim holds on this table\n")
+			case strings.HasPrefix(je.ShapeCheck, "fail"):
+				fmt.Printf("shape check: FAILED: %s\n", strings.TrimPrefix(je.ShapeCheck, "fail: "))
+				failures = append(failures, e.ID)
+			case je.ShapeCheck != "":
+				fmt.Printf("shape check: %s\n", je.ShapeCheck)
 			}
 		}
 		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := tab.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeCSV(filepath.Join(*csvDir, e.ID+".csv"), tab); err != nil {
 				return err
 			}
 		}
+		record.Experiments = append(record.Experiments, je)
+	}
+	record.Interrupted = interrupted
+	record.Timing = &benchjson.Timing{
+		WallMS: time.Since(totalStart).Milliseconds(),
+		CPUMS:  (cpuTime() - totalCPU).Milliseconds(),
+	}
+
+	if *jsonDir != "" {
+		path := filepath.Join(*jsonDir, benchjson.Filename(id))
+		if err := writeJSON(path, record); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", path, len(record.Experiments))
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted: %d experiment(s) completed before cancellation", len(record.Experiments))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("qualitative-claim regression: shape checks failed for %s", strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// checkShape runs the experiment's qualitative-claim check and reports
+// "pass", "fail: <reason>", or a skip marker for checks whose claims only
+// hold at full scale.
+func checkShape(id string, tab *experiment.Table, quick bool) string {
+	check, ok := experiment.ShapeChecks()[id]
+	if !ok {
+		return ""
+	}
+	if quick && !experiment.QuickSafe(id) {
+		return "skipped: scale-sensitive claim, quick sizes not meaningful"
+	}
+	if err := check(tab); err != nil {
+		return "fail: " + err.Error()
+	}
+	return "pass"
+}
+
+// writeCSV writes one table, returning (not panicking on) path errors.
+func writeCSV(path string, tab *experiment.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing csv: %w", err)
+	}
+	if err := tab.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing csv %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing csv %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeJSON writes the bench record via a temp file + rename so a crash or
+// a second SIGINT cannot leave a truncated BENCH_*.json behind.
+func writeJSON(path string, record *benchjson.Run) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return fmt.Errorf("writing json: %w", err)
+	}
+	if err := benchjson.Encode(tmp, record); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing json %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing json %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("writing json %s: %w", path, err)
 	}
 	return nil
 }

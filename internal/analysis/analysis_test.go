@@ -83,3 +83,43 @@ func TestLoadRejectsMissingTree(t *testing.T) {
 		t.Fatal("Load of a missing tree succeeded")
 	}
 }
+
+// TestLoadHonorsBuildConstraints: the analyzed view must match the compiled
+// view. The fixture declares PlatformSplit in two files under opposite
+// //go:build constraints — loading both would be a redeclaration error, so
+// a successful Load with one file filtered proves the selection works.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	pkgs, err := Load("testdata/buildtags", "example.com/buildtags")
+	if err != nil {
+		t.Fatalf("Load failed (build-constrained twin not filtered?): %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 2 {
+		t.Fatalf("loaded %d files, want 2 (kept.go + host.go, not skipped.go)", n)
+	}
+}
+
+func TestHostTagEvaluation(t *testing.T) {
+	for tag, want := range map[string]bool{
+		"radiolint_fixture_tag": false, // unknown tags are false, like go build with no -tags
+	} {
+		if got := hostTag(tag); got != want {
+			t.Errorf("hostTag(%q) = %v, want %v", tag, got, want)
+		}
+	}
+	if !hostTag("linux") && !hostTag("windows") && !hostTag("darwin") {
+		// One of the common GOOS values must be the host.
+		t.Skip("unrecognized host GOOS; GOOS/GOARCH case covered elsewhere")
+	}
+	if !excludedByBuildConstraint([]byte("//go:build radiolint_fixture_tag\n\npackage p\n")) {
+		t.Error("false constraint not excluded")
+	}
+	if excludedByBuildConstraint([]byte("//go:build !radiolint_fixture_tag\n\npackage p\n")) {
+		t.Error("true constraint excluded")
+	}
+	if excludedByBuildConstraint([]byte("package p\n\n// go:build radiolint_fixture_tag\n")) {
+		t.Error("non-directive comment after package clause treated as a constraint")
+	}
+}

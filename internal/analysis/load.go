@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -137,6 +139,9 @@ func parseTree(fset *token.FileSet, root, modulePath string) (map[string]*pkgSrc
 		if err != nil {
 			return err
 		}
+		if excludedByBuildConstraint(src) {
+			return nil
+		}
 		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if err != nil {
 			return fmt.Errorf("analysis: parsing %s: %w", path, err)
@@ -165,6 +170,50 @@ func parseTree(fset *token.FileSet, root, modulePath string) (map[string]*pkgSrc
 		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
 	}
 	return srcs, nil
+}
+
+// excludedByBuildConstraint reports whether a //go:build line excludes the
+// file from the host platform's build. The analyzed view must match the
+// compiled view: without this, platform-split files (cputime_unix.go /
+// cputime_other.go declaring the same symbol under opposite constraints)
+// would type-check as a redeclaration. Only //go:build constraints are
+// honored — this module does not use legacy // +build lines or
+// GOOS/GOARCH file-name suffixes.
+func excludedByBuildConstraint(src []byte) bool {
+	// A //go:build line is only valid before the package clause.
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if constraint.IsGoBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false // malformed: let the parser report it
+			}
+			return !expr.Eval(hostTag)
+		}
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+	}
+	return false
+}
+
+// unixGOOS mirrors go/build's definition of the "unix" build tag.
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// hostTag evaluates one build tag for the host platform. Unknown tags are
+// false, matching `go build` with no -tags flag.
+func hostTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return false
 }
 
 func importPath(root, dir, modulePath string) string {

@@ -1,0 +1,4 @@
+package buildtags
+
+// Unconstrained file: always selected.
+func Unconstrained() int { return PlatformSplit() }

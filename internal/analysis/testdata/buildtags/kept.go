@@ -1,0 +1,9 @@
+// The fixture's always-selected half: !radiolint_fixture_tag is true on
+// every host (the tag is never set), so this file is loaded.
+//go:build !radiolint_fixture_tag
+
+package buildtags
+
+// Declared in both halves of the pair; the package only type-checks if the
+// loader selects exactly one, as go build would.
+func PlatformSplit() int { return 1 }

@@ -1,0 +1,7 @@
+// The fixture's never-selected half: the tag is never set, so the loader
+// must drop this file (keeping it would redeclare PlatformSplit).
+//go:build radiolint_fixture_tag
+
+package buildtags
+
+func PlatformSplit() int { return 2 }

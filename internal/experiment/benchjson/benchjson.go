@@ -1,0 +1,143 @@
+// Package benchjson defines the stable, machine-readable schema for
+// radiobench runs: the BENCH_<id>.json files that record the repository's
+// performance trajectory (archived by CI on every push).
+//
+// The schema separates the deterministic payload — seed, configuration,
+// and every experiment table cell, which must be bit-identical across
+// worker counts for a fixed seed — from the timing observations, which are
+// inherently nondeterministic. Canonical returns the projection with all
+// timing stripped; two runs of the same seed and sizes must produce
+// byte-identical Canonical encodings whatever their -parallel setting (the
+// determinism tests assert exactly that).
+//
+// Schema evolution rule: additions are backward-compatible (new optional
+// fields); any change to the meaning or encoding of an existing field bumps
+// SchemaVersion.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adhocradio/internal/experiment"
+)
+
+// SchemaVersion identifies the encoding; see the package comment for the
+// evolution rule.
+const SchemaVersion = 1
+
+// Timing records wall-clock and CPU time for a run or a single experiment.
+// Timing is observational: it never participates in determinism checks and
+// is stripped by Canonical.
+type Timing struct {
+	WallMS int64 `json:"wall_ms"`
+	// CPUMS is the process CPU time consumed (user+system); 0 when the
+	// platform does not report it or the caller did not measure it.
+	CPUMS int64 `json:"cpu_ms,omitempty"`
+}
+
+// Experiment is one experiment's table plus its per-experiment
+// observations.
+type Experiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// ShapeCheck is "" (not run), "pass", or "fail: <reason>" — the result
+	// of the experiment's qualitative-claim check under -verify.
+	ShapeCheck string  `json:"shape_check,omitempty"`
+	Timing     *Timing `json:"timing,omitempty"`
+}
+
+// Run is the top-level BENCH_<id>.json document.
+type Run struct {
+	Schema int `json:"schema"`
+	// ID names the run; the conventional file name is Filename(ID).
+	ID   string `json:"id"`
+	Seed uint64 `json:"seed"`
+	// Quick records whether reduced problem sizes were used.
+	Quick bool `json:"quick"`
+	// Trials is the configured trials-per-point override (0 = defaults).
+	Trials int `json:"trials"`
+	// Parallel is the configured worker count (0 = all cores).
+	Parallel int `json:"parallel"`
+	// Workers is the resolved worker count actually used.
+	Workers    int    `json:"workers,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	// Interrupted is true when the run was cancelled (SIGINT) and the
+	// document holds only the experiments completed before cancellation.
+	Interrupted bool         `json:"interrupted,omitempty"`
+	Experiments []Experiment `json:"experiments"`
+	Timing      *Timing      `json:"timing,omitempty"`
+}
+
+// FromTable converts a rendered experiment table into its schema form.
+func FromTable(t *experiment.Table) Experiment {
+	e := Experiment{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: append([]string(nil), t.Columns...),
+		Rows:    make([][]string, len(t.Rows)),
+		Notes:   append([]string(nil), t.Notes...),
+	}
+	for i, row := range t.Rows {
+		e.Rows[i] = append([]string(nil), row...)
+	}
+	return e
+}
+
+// Canonical returns a deep copy of r with every nondeterministic field
+// (timing, environment description, resolved worker count, and the
+// configured parallelism itself) zeroed: the projection that must be
+// byte-identical across -parallel settings for a fixed seed.
+func (r *Run) Canonical() *Run {
+	c := *r
+	c.Parallel = 0
+	c.Workers = 0
+	c.GoVersion = ""
+	c.GOMAXPROCS = 0
+	c.Timing = nil
+	c.Experiments = make([]Experiment, len(r.Experiments))
+	for i, e := range r.Experiments {
+		e.Timing = nil
+		c.Experiments[i] = e
+	}
+	return &c
+}
+
+// Encode writes r as stable, indented JSON. Field order follows the struct
+// declarations, so the byte stream is a deterministic function of the
+// document.
+func Encode(w io.Writer, r *Run) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a document produced by Encode and validates its schema
+// version.
+func Decode(rd io.Reader) (*Run, error) {
+	var r Run
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchjson: schema %d, this build reads %d", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Filename returns the conventional file name for a run id.
+func Filename(id string) string {
+	return "BENCH_" + id + ".json"
+}

@@ -1,0 +1,109 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/experiment"
+)
+
+func sampleRun() *Run {
+	tab := &experiment.Table{
+		ID:      "E1",
+		Title:   "demo",
+		Columns: []string{"n", "t"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1024, 385.25)
+	e := FromTable(tab)
+	e.ShapeCheck = "pass"
+	e.Timing = &Timing{WallMS: 1234, CPUMS: 2345}
+	return &Run{
+		Schema:      SchemaVersion,
+		ID:          "quick_seed1",
+		Seed:        1,
+		Quick:       true,
+		Parallel:    8,
+		Workers:     8,
+		GoVersion:   "go1.22",
+		GOMAXPROCS:  4,
+		Experiments: []Experiment{e},
+		Timing:      &Timing{WallMS: 5000},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := Encode(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != r.ID || got.Seed != r.Seed || len(got.Experiments) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	e := got.Experiments[0]
+	if e.ID != "E1" || e.Rows[0][1] != "385.25" || e.ShapeCheck != "pass" {
+		t.Fatalf("experiment mangled: %+v", e)
+	}
+	if e.Timing == nil || e.Timing.WallMS != 1234 {
+		t.Fatalf("timing lost: %+v", e.Timing)
+	}
+}
+
+func TestEncodeIsStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Encode(&a, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same document differ")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Fatal("encoding not newline-terminated")
+	}
+}
+
+func TestCanonicalStripsNondeterminism(t *testing.T) {
+	r := sampleRun()
+	c := r.Canonical()
+	if c.Timing != nil || c.Experiments[0].Timing != nil {
+		t.Fatal("Canonical kept timing")
+	}
+	if c.Parallel != 0 || c.Workers != 0 || c.GoVersion != "" || c.GOMAXPROCS != 0 {
+		t.Fatalf("Canonical kept environment fields: %+v", c)
+	}
+	// The original must be untouched (deep copy).
+	if r.Timing == nil || r.Experiments[0].Timing == nil || r.Parallel != 8 {
+		t.Fatal("Canonical mutated its receiver")
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_ms") || strings.Contains(buf.String(), "go_version") {
+		t.Fatalf("canonical encoding leaks nondeterministic fields:\n%s", buf.String())
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema": 99, "id": "x"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFilename(t *testing.T) {
+	if got := Filename("quick_seed1"); got != "BENCH_quick_seed1.json" {
+		t.Fatalf("Filename = %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -76,7 +77,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(cfg)
+			tab, err := e.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"adhocradio/internal/core"
 	"adhocradio/internal/decay"
 	"adhocradio/internal/det"
+	"adhocradio/internal/experiment/pool"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/lowerbound"
 	"adhocradio/internal/radio"
@@ -26,6 +28,12 @@ type Config struct {
 	// (used by tests); the full sizes are used by cmd/radiobench and the
 	// benchmarks.
 	Quick bool
+	// Parallel is the number of worker goroutines used for independent
+	// measurement points and trials; 0 or 1 runs sequentially. Every
+	// random stream is derived from (Seed, point/trial index), so the
+	// resulting tables are bit-identical for every Parallel value — the
+	// worker count may only change wall-clock time, never bytes.
+	Parallel int
 }
 
 func (c Config) trials(def int) int {
@@ -38,11 +46,20 @@ func (c Config) trials(def int) int {
 	return def
 }
 
+// workers resolves the Parallel setting for the pool; the zero value keeps
+// the historical sequential behaviour.
+func (c Config) workers() int {
+	if c.Parallel > 1 {
+		return c.Parallel
+	}
+	return 1
+}
+
 // Experiment is a registered reproduction experiment.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Table, error)
+	Run   func(ctx context.Context, cfg Config) (*Table, error)
 }
 
 // Registry lists all experiments in order.
@@ -75,29 +92,55 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
 }
 
+// runPoints evaluates n independent measurement points through the worker
+// pool and appends their rows to t in point order. Each point must be a
+// pure function of its index — it derives every random stream from
+// (cfg.Seed, a stable identifier) and touches no state shared with other
+// points — which is what makes the assembled table bit-identical for every
+// cfg.Parallel value. This is the seed-derivation rule of CONTRIBUTING.md;
+// new experiments must follow it.
+func runPoints(ctx context.Context, cfg Config, t *Table, n int,
+	point func(ctx context.Context, i int) ([][]any, error)) error {
+	groups, err := pool.Collect(ctx, cfg.workers(), n, point)
+	if err != nil {
+		return err
+	}
+	for _, rows := range groups {
+		for _, cells := range rows {
+			t.AddRow(cells...)
+		}
+	}
+	return nil
+}
+
 // meanTime runs protocol p on fresh topologies from build for the given
-// number of trials and returns the mean and median broadcast time.
-func meanTime(build func(src *rng.Source) (*graph.Graph, error), p func() radio.Protocol,
-	seed uint64, trials int) (stats.Summary, error) {
-	times := make([]int, 0, trials)
-	for i := 0; i < trials; i++ {
+// number of trials and returns the mean and median broadcast time. Trials
+// are sharded across the pool: trial i derives its topology stream from
+// (seed, i) and its protocol stream from seed+1000+i, so the summary is
+// identical whatever the worker count.
+func meanTime(ctx context.Context, cfg Config, build func(src *rng.Source) (*graph.Graph, error),
+	p func() radio.Protocol, seed uint64, trials int) (stats.Summary, error) {
+	times, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) (int, error) {
 		src := rng.NewStream(seed, uint64(i))
 		g, err := build(src)
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
 		res, err := radio.Run(g, p(), radio.Config{Seed: seed + uint64(1000+i)}, radio.Options{})
 		if err != nil {
-			return stats.Summary{}, err
+			return 0, err
 		}
-		times = append(times, res.BroadcastTime)
+		return res.BroadcastTime, nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
 	return stats.SummarizeInts(times), nil
 }
 
 // E1: at D ∈ Θ(n/polylog n) the paper's algorithm wins over BGI by a factor
 // approaching log n / log(n/D).
-func E1(cfg Config) (*Table, error) {
+func E1(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "KP vs BGI on random layered networks, D = n/16",
@@ -115,35 +158,39 @@ func E1(cfg Config) (*Table, error) {
 		sizes = []int{256, 512}
 	}
 	trials := cfg.trials(5)
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(ctx context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		d := n / 16
 		build := func(src *rng.Source) (*graph.Graph, error) {
 			return graph.RandomLayered(n, d, 0.3, src)
 		}
-		known, err := meanTime(build, func() radio.Protocol {
+		known, err := meanTime(ctx, cfg, build, func() radio.Protocol {
 			return core.NewWithParams(core.Params{KnownRadius: d})
 		}, cfg.Seed+uint64(n), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E1 kp-known n=%d: %w", n, err)
 		}
-		kp, err := meanTime(build, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(n), trials)
+		kp, err := meanTime(ctx, cfg, build, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(n), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E1 kp n=%d: %w", n, err)
 		}
-		bgi, err := meanTime(build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n), trials)
+		bgi, err := meanTime(ctx, cfg, build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E1 bgi n=%d: %w", n, err)
 		}
 		model := stats.ModelBGI(float64(n), float64(d)) / stats.ModelKP(float64(n), float64(d))
-		t.AddRow(n, d, known.Mean, kp.Mean, bgi.Mean,
-			bgi.Mean/known.Mean, bgi.Mean/kp.Mean, model)
+		return [][]any{{n, d, known.Mean, kp.Mean, bgi.Mean,
+			bgi.Mean / known.Mean, bgi.Mean / kp.Mean, model}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E2: at constant D both algorithms are dominated by the log²n term and
 // should be close.
-func E2(cfg Config) (*Table, error) {
+func E2(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "KP vs BGI on complete layered networks, small D",
@@ -157,21 +204,30 @@ func E2(cfg Config) (*Table, error) {
 		sizes = []int{256}
 	}
 	trials := cfg.trials(5)
+	type nd struct{ n, d int }
+	var points []nd
 	for _, n := range sizes {
 		for _, d := range []int{2, 4, 8} {
-			build := func(src *rng.Source) (*graph.Graph, error) {
-				return graph.UniformCompleteLayered(n, d)
-			}
-			kp, err := meanTime(build, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(n*d), trials)
-			if err != nil {
-				return nil, fmt.Errorf("E2 kp n=%d d=%d: %w", n, d, err)
-			}
-			bgi, err := meanTime(build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n*d), trials)
-			if err != nil {
-				return nil, fmt.Errorf("E2 bgi n=%d d=%d: %w", n, d, err)
-			}
-			t.AddRow(n, d, kp.Mean, bgi.Mean, bgi.Mean/kp.Mean)
+			points = append(points, nd{n, d})
 		}
+	}
+	err := runPoints(ctx, cfg, t, len(points), func(ctx context.Context, i int) ([][]any, error) {
+		n, d := points[i].n, points[i].d
+		build := func(src *rng.Source) (*graph.Graph, error) {
+			return graph.UniformCompleteLayered(n, d)
+		}
+		kp, err := meanTime(ctx, cfg, build, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(n*d), trials)
+		if err != nil {
+			return nil, fmt.Errorf("E2 kp n=%d d=%d: %w", n, d, err)
+		}
+		bgi, err := meanTime(ctx, cfg, build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n*d), trials)
+		if err != nil {
+			return nil, fmt.Errorf("E2 bgi n=%d d=%d: %w", n, d, err)
+		}
+		return [][]any{{n, d, kp.Mean, bgi.Mean, bgi.Mean / kp.Mean}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -179,7 +235,7 @@ func E2(cfg Config) (*Table, error) {
 // E3: Kushilevitz–Mansour's Ω(D log(n/D)) is proved on complete layered
 // networks; KP should be no faster there than on random layered networks of
 // the same n, D.
-func E3(cfg Config) (*Table, error) {
+func E3(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
 		Title:   "KP on complete layered vs random layered networks",
@@ -194,23 +250,30 @@ func E3(cfg Config) (*Table, error) {
 		n = 256
 	}
 	trials := cfg.trials(5)
+	var ds []int
 	for _, d := range []int{8, 32, 128} {
-		if d >= n/4 {
-			continue
+		if d < n/4 {
+			ds = append(ds, d)
 		}
-		complete, err := meanTime(func(src *rng.Source) (*graph.Graph, error) {
+	}
+	err := runPoints(ctx, cfg, t, len(ds), func(ctx context.Context, i int) ([][]any, error) {
+		d := ds[i]
+		complete, err := meanTime(ctx, cfg, func(src *rng.Source) (*graph.Graph, error) {
 			return graph.UniformCompleteLayered(n, d)
 		}, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(d), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E3 complete d=%d: %w", d, err)
 		}
-		random, err := meanTime(func(src *rng.Source) (*graph.Graph, error) {
+		random, err := meanTime(ctx, cfg, func(src *rng.Source) (*graph.Graph, error) {
 			return graph.RandomLayered(n, d, 0.2, src)
 		}, func() radio.Protocol { return core.New() }, cfg.Seed+uint64(d), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E3 random d=%d: %w", d, err)
 		}
-		t.AddRow(n, d, complete.Mean, random.Mean, complete.Mean/random.Mean)
+		return [][]any{{n, d, complete.Mean, random.Mean, complete.Mean / random.Mean}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -218,7 +281,7 @@ func E3(cfg Config) (*Table, error) {
 // E4: the Section 3 adversary. For each protocol we build G_A, verify
 // Lemma 9 (abstract = real histories), and report the measured time next
 // to the guaranteed bound and the Thm 2 model curve.
-func E4(cfg Config) (*Table, error) {
+func E4(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "Adversarial networks G_A (jamming + non-selective witness)",
@@ -235,31 +298,42 @@ func E4(cfg Config) (*Table, error) {
 		sizes = [][2]int{{256, 16}}
 	}
 	protos := []radio.DeterministicProtocol{det.RoundRobin{}, det.SelectAndSend{}}
+	type point struct {
+		p    radio.DeterministicProtocol
+		n, d int
+	}
+	var points []point
 	for _, p := range protos {
 		for _, sz := range sizes {
-			n, d := sz[0], sz[1]
-			c, err := lowerbound.Build(p, lowerbound.Params{N: n, D: d, Force: true})
-			if err != nil {
-				return nil, fmt.Errorf("E4 %s n=%d: %w", p.Name(), n, err)
-			}
-			res, err := lowerbound.VerifyRealRun(p, c, 0)
-			if err != nil {
-				return nil, fmt.Errorf("E4 %s n=%d: %w", p.Name(), n, err)
-			}
-			if res.BroadcastTime < c.LowerBoundSteps() {
-				return nil, fmt.Errorf("E4 %s n=%d: time %d below bound %d", p.Name(), n, res.BroadcastTime, c.LowerBoundSteps())
-			}
-			t.AddRow(p.Name(), n, d, c.K, c.LMax, c.LowerBoundSteps(), res.BroadcastTime,
-				float64(res.BroadcastTime)/float64(c.LowerBoundSteps()),
-				stats.ModelDetLB(float64(n), float64(d)))
+			points = append(points, point{p, sz[0], sz[1]})
 		}
+	}
+	err := runPoints(ctx, cfg, t, len(points), func(_ context.Context, i int) ([][]any, error) {
+		p, n, d := points[i].p, points[i].n, points[i].d
+		c, err := lowerbound.Build(p, lowerbound.Params{N: n, D: d, Force: true})
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s n=%d: %w", p.Name(), n, err)
+		}
+		res, err := lowerbound.VerifyRealRun(p, c, 0)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %s n=%d: %w", p.Name(), n, err)
+		}
+		if res.BroadcastTime < c.LowerBoundSteps() {
+			return nil, fmt.Errorf("E4 %s n=%d: time %d below bound %d", p.Name(), n, res.BroadcastTime, c.LowerBoundSteps())
+		}
+		return [][]any{{p.Name(), n, d, c.K, c.LMax, c.LowerBoundSteps(), res.BroadcastTime,
+			float64(res.BroadcastTime) / float64(c.LowerBoundSteps()),
+			stats.ModelDetLB(float64(n), float64(d))}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E5: Select-and-Send completes in O(n log n) on arbitrary networks; the
 // normalized time t/(n log n) should stay near a constant as n grows.
-func E5(cfg Config) (*Table, error) {
+func E5(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Title:   "Select-and-Send on arbitrary networks",
@@ -273,7 +347,8 @@ func E5(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{128, 256}
 	}
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(_ context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		src := rng.NewStream(cfg.Seed, uint64(n))
 		workloads := map[string]*graph.Graph{
 			"gnp":  graph.GNPConnected(n, 4.0/float64(n), src),
@@ -281,6 +356,7 @@ func E5(cfg Config) (*Table, error) {
 		}
 		side := int(math.Sqrt(float64(n)))
 		workloads["grid"] = graph.Grid(side, side)
+		var rows [][]any
 		for _, name := range []string{"gnp", "tree", "grid"} {
 			g := workloads[name]
 			res, err := radio.Run(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
@@ -288,8 +364,12 @@ func E5(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("E5 %s n=%d: %w", name, n, err)
 			}
 			nn := float64(g.N())
-			t.AddRow(name, g.N(), res.BroadcastTime, float64(res.BroadcastTime)/stats.ModelNLogN(nn))
+			rows = append(rows, []any{name, g.N(), res.BroadcastTime, float64(res.BroadcastTime) / stats.ModelNLogN(nn)})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -298,7 +378,7 @@ func E5(cfg Config) (*Table, error) {
 // for unbounded D ∈ o(n): the normalized t/(n + D log n) column must stay
 // bounded while t/(n log D) falls as n grows. Worst-case label placement
 // makes the additive Θ(n) bootstrap term real instead of accidental.
-func E6(cfg Config) (*Table, error) {
+func E6(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Complete-Layered on worst-labelled complete layered networks",
@@ -312,11 +392,13 @@ func E6(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{256, 512}
 	}
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(_ context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		ds := []int{intSqrt(n)}
 		if n/32 != ds[0] {
 			ds = append(ds, n/32)
 		}
+		var rows [][]any
 		for _, d := range ds {
 			if d < 2 || d > n/4 {
 				continue
@@ -330,10 +412,14 @@ func E6(cfg Config) (*Table, error) {
 				return nil, fmt.Errorf("E6 n=%d d=%d: %w", n, d, err)
 			}
 			nf, df := float64(n), float64(d)
-			t.AddRow(n, d, res.BroadcastTime,
-				float64(res.BroadcastTime)/stats.ModelCompleteLayered(nf, df),
-				float64(res.BroadcastTime)/(nf*math.Log2(df)))
+			rows = append(rows, []any{n, d, res.BroadcastTime,
+				float64(res.BroadcastTime) / stats.ModelCompleteLayered(nf, df),
+				float64(res.BroadcastTime) / (nf * math.Log2(df))})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -344,7 +430,11 @@ func intSqrt(n int) int {
 
 // E7: round-robin is O(nD), Select-and-Send O(n log n); interleaving them
 // gives O(n·min(D, log n)). The crossover should sit near D ≈ log n.
-func E7(cfg Config) (*Table, error) {
+//
+// The workload graphs are drawn from ONE sequential stream (each draw
+// consumes randomness the next depends on), so generation stays a
+// sequential prologue; only the measurements fan out.
+func E7(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Round-robin vs Select-and-Send vs interleaving across D",
@@ -359,6 +449,10 @@ func E7(cfg Config) (*Table, error) {
 		n = 256
 	}
 	src := rng.NewStream(cfg.Seed, 7)
+	var (
+		ds     []int
+		graphs []*graph.Graph
+	)
 	for _, d := range []int{2, 4, 8, 16, 64, 256} {
 		if d > n/4 {
 			continue
@@ -367,6 +461,11 @@ func E7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		ds = append(ds, d)
+		graphs = append(graphs, g)
+	}
+	err := runPoints(ctx, cfg, t, len(ds), func(_ context.Context, i int) ([][]any, error) {
+		d, g := ds[i], graphs[i]
 		rr, err := radio.Run(g, det.RoundRobin{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E7 rr d=%d: %w", d, err)
@@ -384,7 +483,10 @@ func E7(cfg Config) (*Table, error) {
 		if ss.BroadcastTime < rr.BroadcastTime {
 			winner = "select-and-send"
 		}
-		t.AddRow(n, d, rr.BroadcastTime, ss.BroadcastTime, inter.BroadcastTime, winner)
+		return [][]any{{n, d, rr.BroadcastTime, ss.BroadcastTime, inter.BroadcastTime, winner}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -392,7 +494,7 @@ func E7(cfg Config) (*Table, error) {
 // E8: remove the universal-sequence step from Stage(D, i) and watch
 // high-in-degree fronts suffer — the paper's argument for why "trying to
 // shorten procedure Decay would not work".
-func E8(cfg Config) (*Table, error) {
+func E8(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Stage(D,i) with and without the universal-sequence step (StarChain fronts)",
@@ -415,8 +517,9 @@ func E8(cfg Config) (*Table, error) {
 	const chain = 2
 	const assumedRadius = 32
 	const budget = 200_000
-	for _, w := range fanins {
-		g := graph.StarChain(chain, w)
+	err := runPoints(ctx, cfg, t, len(fanins), func(ctx context.Context, pi int) ([][]any, error) {
+		w := fanins[pi]
+		g := graph.StarChain(chain, w) // read-only, shared across trial workers
 		run := func(p radio.Protocol, seed uint64) int {
 			res, err := radio.Run(g, p, radio.Config{Seed: seed}, radio.Options{MaxSteps: budget})
 			if err != nil {
@@ -424,15 +527,27 @@ func E8(cfg Config) (*Table, error) {
 			}
 			return res.BroadcastTime
 		}
+		pairs, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) ([2]int, error) {
+			seed := cfg.Seed + uint64(100*w+i)
+			return [2]int{
+				run(core.NewWithParams(core.Params{KnownRadius: assumedRadius}), seed),
+				run(core.NewWithParams(core.Params{KnownRadius: assumedRadius, DisableUniversalStep: true}), seed),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		full := make([]int, 0, trials)
 		ablated := make([]int, 0, trials)
-		for i := 0; i < trials; i++ {
-			seed := cfg.Seed + uint64(100*w+i)
-			full = append(full, run(core.NewWithParams(core.Params{KnownRadius: assumedRadius}), seed))
-			ablated = append(ablated, run(core.NewWithParams(core.Params{KnownRadius: assumedRadius, DisableUniversalStep: true}), seed))
+		for _, pr := range pairs {
+			full = append(full, pr[0])
+			ablated = append(ablated, pr[1])
 		}
 		fs, as := stats.SummarizeInts(full), stats.SummarizeInts(ablated)
-		t.AddRow(w, g.N(), fs.Median, as.Median, as.Median/fs.Median)
+		return [][]any{{w, g.N(), fs.Median, as.Median, as.Median / fs.Median}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -441,7 +556,7 @@ func E8(cfg Config) (*Table, error) {
 // battery-powered deployment spends) for every algorithm on a common
 // workload. The paper optimizes time only; this table shows the price each
 // algorithm pays in messages, which the time bounds hide.
-func E9(cfg Config) (*Table, error) {
+func E9(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Message complexity on a random layered network",
@@ -467,14 +582,18 @@ func E9(cfg Config) (*Table, error) {
 		det.SelectAndSend{},
 		det.NewInterleaved(det.RoundRobin{}, det.SelectAndSend{}),
 	}
-	for _, p := range protos {
+	err = runPoints(ctx, cfg, t, len(protos), func(_ context.Context, i int) ([][]any, error) {
+		p := protos[i]
 		var col trace.Collector
 		res, err := radio.Run(g, p, radio.Config{Seed: cfg.Seed + 5}, radio.Options{Trace: col.Hook()})
 		if err != nil {
 			return nil, fmt.Errorf("E9 %s: %w", p.Name(), err)
 		}
-		t.AddRow(p.Name(), n, d, res.BroadcastTime, res.Transmissions,
-			float64(res.Transmissions)/float64(n), col.JainFairness(), res.Collisions)
+		return [][]any{{p.Name(), n, d, res.BroadcastTime, res.Transmissions,
+			float64(res.Transmissions) / float64(n), col.JainFairness(), res.Collisions}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -485,7 +604,7 @@ func E9(cfg Config) (*Table, error) {
 // finishes in <= 2n steps, while Select-and-Send — same DFS, but blind —
 // pays the Θ(log n) Echo/Binary-Selection machinery per hop. The measured
 // ratio should grow like log n.
-func E10(cfg Config) (*Table, error) {
+func E10(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Title:   "Neighborhood knowledge: [2]-style DFS vs Select-and-Send",
@@ -499,7 +618,8 @@ func E10(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{128, 256}
 	}
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(_ context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		src := rng.NewStream(cfg.Seed, uint64(n))
 		g := graph.RandomTree(n, src)
 		dfs, err := radio.Run(g, det.DFSNeighborhood{}, radio.Config{}, radio.Options{})
@@ -510,8 +630,11 @@ func E10(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E10 ss n=%d: %w", n, err)
 		}
-		t.AddRow(n, dfs.BroadcastTime, ss.BroadcastTime,
-			float64(ss.BroadcastTime)/float64(dfs.BroadcastTime), math.Log2(float64(n)))
+		return [][]any{{n, dfs.BroadcastTime, ss.BroadcastTime,
+			float64(ss.BroadcastTime) / float64(dfs.BroadcastTime), math.Log2(float64(n))}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -521,7 +644,7 @@ func E10(cfg Config) (*Table, error) {
 // lower bound); with neighborhood knowledge it is Θ(n) too ([2]); in the
 // paper's standard model the best known deterministic algorithm is
 // Select-and-Send's O(n log n) against Theorem 2's Ω(n log n / log(n/D)).
-func E11(cfg Config) (*Table, error) {
+func E11(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E11",
 		Title:   "Model landscape: spontaneous vs neighbor-aware vs standard",
@@ -535,7 +658,8 @@ func E11(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = []int{128, 256}
 	}
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(_ context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		src := rng.NewStream(cfg.Seed, uint64(3*n))
 		g := graph.GNPConnected(n, 3.0/float64(n), src)
 		spont, err := radio.Run(g, det.SpontaneousLinear{}, radio.Config{}, radio.Options{})
@@ -551,9 +675,12 @@ func E11(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E11 ss n=%d: %w", n, err)
 		}
 		nf := float64(n)
-		t.AddRow(n, spont.BroadcastTime, dfs.BroadcastTime, ss.BroadcastTime,
-			float64(spont.BroadcastTime)/nf,
-			float64(ss.BroadcastTime)/stats.ModelNLogN(nf))
+		return [][]any{{n, spont.BroadcastTime, dfs.BroadcastTime, ss.BroadcastTime,
+			float64(spont.BroadcastTime) / nf,
+			float64(ss.BroadcastTime) / stats.ModelNLogN(nf)}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -567,7 +694,7 @@ func E11(cfg Config) (*Table, error) {
 // feedback) and stays at O(n + D log n). Feedback algorithms deadlock on
 // the directed instances — the refutation cannot carry over, exactly as
 // the paper argues.
-func E12(cfg Config) (*Table, error) {
+func E12(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E12",
 		Title:   "Directed adversarial vs benign vs undirected feedback",
@@ -582,8 +709,8 @@ func E12(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		sizes = [][2]int{{256, 8}}
 	}
-	for _, sz := range sizes {
-		n, d := sz[0], sz[1]
+	err := runPoints(ctx, cfg, t, len(sizes), func(_ context.Context, i int) ([][]any, error) {
+		n, d := sizes[i][0], sizes[i][1]
 		victim := det.ObliviousDecay{Seed: cfg.Seed + 1}
 		c, err := lowerbound.BuildDirectedLayered(victim, lowerbound.DirectedParams{N: n, D: d})
 		if err != nil {
@@ -602,9 +729,9 @@ func E12(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		benignD := graph.New(benignU.N(), false)
-		for i := 0; i+1 < len(layers); i++ {
-			for _, u := range layers[i] {
-				for _, v := range layers[i+1] {
+		for li := 0; li+1 < len(layers); li++ {
+			for _, u := range layers[li] {
+				for _, v := range layers[li+1] {
 					benignD.MustAddEdge(u, v)
 				}
 			}
@@ -617,8 +744,11 @@ func E12(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E12 undirected n=%d: %w", n, err)
 		}
-		t.AddRow(n, d, adv.BroadcastTime, bres.BroadcastTime,
-			float64(adv.BroadcastTime)/float64(bres.BroadcastTime), ures.BroadcastTime)
+		return [][]any{{n, d, adv.BroadcastTime, bres.BroadcastTime,
+			float64(adv.BroadcastTime) / float64(bres.BroadcastTime), ures.BroadcastTime}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -628,7 +758,7 @@ func E12(cfg Config) (*Table, error) {
 // even carried out for directed radius D. The measured times on directed
 // layered networks must match the undirected ones of equal (n, D) in order
 // of magnitude.
-func E13(cfg Config) (*Table, error) {
+func E13(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Title:   "KP (known D) on directed vs undirected layered networks",
@@ -643,9 +773,10 @@ func E13(cfg Config) (*Table, error) {
 		sizes = []int{256}
 	}
 	trials := cfg.trials(5)
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(ctx context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		d := n / 16
-		directed, err := meanTime(func(src *rng.Source) (*graph.Graph, error) {
+		directed, err := meanTime(ctx, cfg, func(src *rng.Source) (*graph.Graph, error) {
 			return graph.DirectedLayered(n, d, 0.3, src)
 		}, func() radio.Protocol {
 			return core.NewWithParams(core.Params{KnownRadius: d})
@@ -653,7 +784,7 @@ func E13(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E13 directed n=%d: %w", n, err)
 		}
-		undirected, err := meanTime(func(src *rng.Source) (*graph.Graph, error) {
+		undirected, err := meanTime(ctx, cfg, func(src *rng.Source) (*graph.Graph, error) {
 			return graph.RandomLayered(n, d, 0.3, src)
 		}, func() radio.Protocol {
 			return core.NewWithParams(core.Params{KnownRadius: d})
@@ -661,7 +792,10 @@ func E13(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E13 undirected n=%d: %w", n, err)
 		}
-		t.AddRow(n, d, directed.Mean, undirected.Mean, directed.Mean/undirected.Mean)
+		return [][]any{{n, d, directed.Mean, undirected.Mean, directed.Mean / undirected.Mean}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -675,7 +809,7 @@ func E13(cfg Config) (*Table, error) {
 // wrapper reach the phase whose stage length actually matches D. Both
 // complete reliably — the substitution trades none of the correctness, only
 // finite-size speed.
-func E14(cfg Config) (*Table, error) {
+func E14(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Title:   "Doubling wrapper under different stage budgets",
@@ -690,13 +824,14 @@ func E14(cfg Config) (*Table, error) {
 		sizes = []int{256}
 	}
 	trials := cfg.trials(5)
-	for _, n := range sizes {
+	err := runPoints(ctx, cfg, t, len(sizes), func(ctx context.Context, i int) ([][]any, error) {
+		n := sizes[i]
 		d := n / 16
 		build := func(src *rng.Source) (*graph.Graph, error) {
 			return graph.RandomLayered(n, d, 0.3, src)
 		}
 		measure := func(factor int) (stats.Summary, error) {
-			return meanTime(build, func() radio.Protocol {
+			return meanTime(ctx, cfg, build, func() radio.Protocol {
 				return core.NewWithParams(core.Params{StageFactor: factor})
 			}, cfg.Seed+uint64(n), trials)
 		}
@@ -708,17 +843,20 @@ func E14(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E14 f128 n=%d: %w", n, err)
 		}
-		paper, err := meanTime(build, func() radio.Protocol {
+		paper, err := meanTime(ctx, cfg, build, func() radio.Protocol {
 			return core.NewPaperExact()
 		}, cfg.Seed+uint64(n), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E14 paper n=%d: %w", n, err)
 		}
-		bgi, err := meanTime(build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n), trials)
+		bgi, err := meanTime(ctx, cfg, build, func() radio.Protocol { return decay.New() }, cfg.Seed+uint64(n), trials)
 		if err != nil {
 			return nil, fmt.Errorf("E14 bgi n=%d: %w", n, err)
 		}
-		t.AddRow(n, d, f16.Mean, f128.Mean, paper.Mean, bgi.Mean)
+		return [][]any{{n, d, f16.Mean, f128.Mean, paper.Mean, bgi.Mean}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,0 +1,80 @@
+package experiment_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"adhocradio/internal/experiment"
+	"adhocradio/internal/experiment/benchjson"
+)
+
+// renderAll runs every registered experiment (or the -short subset) at
+// Quick scale with the given worker count and returns the concatenated
+// rendered tables plus the canonical (timing-stripped) benchjson encoding.
+func renderAll(t *testing.T, parallel int, ids map[string]bool) (tables, canonical []byte) {
+	t.Helper()
+	cfg := experiment.Config{Seed: 1, Quick: true, Parallel: parallel}
+	var tabBuf bytes.Buffer
+	record := &benchjson.Run{Schema: benchjson.SchemaVersion, ID: "determinism", Seed: cfg.Seed, Quick: true, Parallel: parallel}
+	for _, e := range experiment.Registry() {
+		if ids != nil && !ids[e.ID] {
+			continue
+		}
+		tab, err := e.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("%s (parallel=%d): %v", e.ID, parallel, err)
+		}
+		if err := tab.Render(&tabBuf); err != nil {
+			t.Fatal(err)
+		}
+		record.Experiments = append(record.Experiments, benchjson.FromTable(tab))
+	}
+	var jsonBuf bytes.Buffer
+	if err := benchjson.Encode(&jsonBuf, record.Canonical()); err != nil {
+		t.Fatal(err)
+	}
+	return tabBuf.Bytes(), jsonBuf.Bytes()
+}
+
+// TestParallelBitIdentical is the engine's core invariant, exercised under
+// the race detector by `make race`: for a fixed seed, -parallel=8 must
+// produce byte-identical tables and canonical JSON to -parallel=1. Every
+// random stream is derived from (seed, point/trial index), so the worker
+// count may change wall-clock time only, never a single byte.
+func TestParallelBitIdentical(t *testing.T) {
+	// Under -short keep a representative subset so the race-detector run
+	// stays fast: E2 (pooled trials via meanTime), E5 (multi-row points),
+	// E7 (sequential graph prologue + parallel measurements), E9 (shared
+	// read-only graph), E12 (adversary construction in workers).
+	ids := map[string]bool{"E2": true, "E5": true, "E7": true, "E9": true, "E12": true}
+	if !testing.Short() {
+		ids = nil // every experiment
+	}
+	seqTables, seqJSON := renderAll(t, 1, ids)
+	for _, workers := range []int{2, 8} {
+		parTables, parJSON := renderAll(t, workers, ids)
+		if !bytes.Equal(seqTables, parTables) {
+			t.Errorf("parallel=%d: rendered tables differ from sequential\nseq:\n%s\npar:\n%s",
+				workers, seqTables, parTables)
+		}
+		if !bytes.Equal(seqJSON, parJSON) {
+			t.Errorf("parallel=%d: canonical JSON differs from sequential\nseq:\n%s\npar:\n%s",
+				workers, seqJSON, parJSON)
+		}
+	}
+}
+
+// TestParallelCancellation: a cancelled context stops a run promptly with
+// context.Canceled instead of hanging or panicking, whatever the worker
+// count.
+func TestParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []int{1, 8} {
+		cfg := experiment.Config{Seed: 1, Quick: true, Parallel: parallel}
+		if _, err := experiment.E1(ctx, cfg); err == nil {
+			t.Errorf("parallel=%d: cancelled run returned no error", parallel)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package pool provides the deterministic worker pool behind the parallel
+// experiment engine.
+//
+// The pool's contract is structural determinism: work is expressed as n
+// independent, indexed jobs, each of which derives everything it needs
+// (seeds, sizes, protocols) from its index alone and writes its result into
+// caller-owned, per-index storage. Because no job reads another job's state
+// and results are assembled in index order, the outcome is bit-identical
+// whatever the worker count or goroutine schedule — running with 8 workers
+// replays exactly like running with 1. This is the same replayability
+// invariant radiolint enforces on the simulator itself, lifted to the
+// harness level: parallelism may only change wall-clock time, never bytes.
+//
+// Error handling is deterministic too. Jobs are dispatched in ascending
+// index order; after the first failure no new jobs start, already-running
+// jobs finish, and Run reports the error of the lowest failing index — the
+// same error a sequential loop would have stopped on (every index below the
+// lowest failing one runs to completion in both schedules). A panicking job
+// is contained and converted into an error carrying its stack, so one bad
+// trial cannot take down the whole run.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count setting: values below 1 select
+// GOMAXPROCS (use every core), and the result is clamped to n so no idle
+// goroutines are spawned.
+func Workers(workers, n int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes jobs 0..n-1 on up to workers goroutines (workers < 1 means
+// GOMAXPROCS). job must be safe to call concurrently from multiple
+// goroutines and must confine its effects to per-index state.
+//
+// Jobs are dispatched in ascending index order. The first job error stops
+// dispatch of further jobs; jobs already started run to completion, and Run
+// returns the error of the lowest failing index. If ctx is cancelled, Run
+// stops dispatching and returns ctx.Err() (unless a lower-indexed job had
+// already failed on its own). A job panic is recovered and reported as an
+// error for its index.
+func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	if workers == 1 {
+		// Sequential fast path: same dispatch rule, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runJob(ctx, i, job); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next int64 = -1 // next job index, claimed via atomic increment
+		stop atomic.Bool
+		errs = make([]error, n) // per-index, no cross-job writes
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := runJob(ctx, i, job); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: the lowest failing index wins, exactly
+	// as a sequential loop would have reported it.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// runJob invokes job(i) with panic containment.
+func runJob(ctx context.Context, i int, job func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return job(ctx, i)
+}
+
+// Collect runs fn for every index 0..n-1 under Run's scheduling contract
+// and returns the results in index order. fn's result for index i must
+// depend only on i (and immutable captured state); under that contract the
+// returned slice is identical for every worker count.
+func Collect[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestZeroJobs(t *testing.T) {
+	called := false
+	err := Run(context.Background(), 4, 0, func(context.Context, int) error {
+		called = true
+		return nil
+	})
+	if err != nil || called {
+		t.Fatalf("zero jobs: err=%v called=%v", err, called)
+	}
+	out, err := Collect(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero-job Collect: out=%v err=%v", out, err)
+	}
+}
+
+func TestEveryJobRunsOnce(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 7, 64, 200} {
+		var counts [n]int64
+		err := Run(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestCollectOrdersResults(t *testing.T) {
+	const n = 50
+	for _, workers := range []int{1, 8} {
+		out, err := Collect(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestLowestIndexErrorWins: whatever the schedule, the reported error must
+// be the one a sequential loop would have stopped on.
+func TestLowestIndexErrorWins(t *testing.T) {
+	const n = 40
+	failAt := map[int]bool{7: true, 23: true, 39: true}
+	for _, workers := range []int{1, 2, 8} {
+		err := Run(context.Background(), workers, n, func(_ context.Context, i int) error {
+			if failAt[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7's", workers, err)
+		}
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	var started int64
+	boom := errors.New("boom")
+	err := Run(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := atomic.LoadInt64(&started); s == 1000 {
+		t.Fatal("dispatch did not stop after the failure")
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Run(context.Background(), workers, 10, func(_ context.Context, i int) error {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not surfaced", workers)
+		}
+		if !strings.Contains(err.Error(), "job 3 panicked: kaboom") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "pool_test.go") {
+			t.Fatalf("workers=%d: no stack in %v", workers, err)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int64
+		err := Run(ctx, workers, 1000, func(_ context.Context, i int) error {
+			if atomic.AddInt64(&ran, 1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if r := atomic.LoadInt64(&ran); r == 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch", workers)
+		}
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Run(ctx, 1, 10, func(context.Context, int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("pre-cancelled: err=%v called=%v", err, called)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d", w)
+	}
+	if w := Workers(-3, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3, 100) = %d", w)
+	}
+	if w := Workers(16, 4); w != 4 {
+		t.Fatalf("Workers(16, 4) = %d", w)
+	}
+	if w := Workers(3, 100); w != 3 {
+		t.Fatalf("Workers(3, 100) = %d", w)
+	}
+}
+
+// TestCollectDeterministic is the pool-level form of the engine's
+// replayability invariant: per-index derivation makes the assembled result
+// independent of the worker count.
+func TestCollectDeterministic(t *testing.T) {
+	derive := func(_ context.Context, i int) (uint64, error) {
+		x := uint64(i) * 0x9e3779b97f4a7c15
+		x ^= x >> 29
+		return x, nil
+	}
+	seq, err := Collect(context.Background(), 1, 200, derive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 32} {
+		par, err := Collect(context.Background(), workers, 200, derive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}

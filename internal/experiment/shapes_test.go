@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -57,11 +58,13 @@ func TestFullScaleShapes(t *testing.T) {
 		t.Skip("full-scale experiments take ~1 minute")
 	}
 	checks := ShapeChecks()
-	cfg := Config{Seed: 1}
+	// Parallel workers cut the wall time on multi-core runners; by the
+	// engine's determinism invariant the tables are identical either way.
+	cfg := Config{Seed: 1, Parallel: 8}
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(cfg)
+			tab, err := e.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
