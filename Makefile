@@ -6,13 +6,22 @@ GO ?= go
 # Packages with concurrency-bearing code or parallel test harnesses; they
 # run under the race detector on every check. The root package carries the
 # soak tests, which -short skips; `make race-full` runs them raced too.
-RACE_PKGS := ./internal/radio/... ./internal/experiment/... .
+RACE_PKGS := ./internal/radio/... ./internal/experiment/... ./internal/graph/... .
 
 # Where `make bench-smoke` writes its BENCH_*.json record; CI uploads the
 # same directory as a build artifact.
 BENCH_DIR ?= bench-out
 
-.PHONY: check build test vet radiolint race race-full fmt-check bench-smoke
+# Simulator micro-benchmark comparison: `make bench-compare` reruns the
+# internal/radio benchmarks and diffs them against the committed baseline
+# with the stdlib-only delta printer (cmd/benchdelta — no benchstat dep).
+# Refresh the baseline with `make bench-save` after a deliberate perf change
+# and commit the new file alongside bench/BENCH_simcore.json.
+BENCH_BASELINE ?= bench/simcore-baseline.txt
+BENCH_COUNT ?= 5
+
+.PHONY: check build test vet radiolint race race-full fmt-check bench-smoke \
+	bench-compare bench-save
 
 check: build vet fmt-check radiolint test race
 
@@ -39,6 +48,19 @@ race-full:
 # qualitative-claim regression), machine-readable record left in BENCH_DIR.
 bench-smoke:
 	$(GO) run ./cmd/radiobench -quick -parallel 0 -verify -json $(BENCH_DIR)
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/radio/... \
+		| tee $(BENCH_DIR)/microbench-smoke.txt
+
+bench-compare:
+	@mkdir -p $(BENCH_DIR)
+	$(GO) test -run=NONE -bench=. -count=$(BENCH_COUNT) ./internal/radio/ \
+		| tee $(BENCH_DIR)/simcore-current.txt
+	$(GO) run ./cmd/benchdelta $(BENCH_BASELINE) $(BENCH_DIR)/simcore-current.txt
+
+bench-save:
+	@mkdir -p $(dir $(BENCH_BASELINE))
+	$(GO) test -run=NONE -bench=. -count=$(BENCH_COUNT) ./internal/radio/ \
+		| tee $(BENCH_BASELINE)
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

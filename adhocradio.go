@@ -72,6 +72,11 @@ type (
 	Protocol = radio.Protocol
 	// NodeProgram is the state machine run at one node.
 	NodeProgram = radio.NodeProgram
+	// Runner is a reusable simulation engine: it owns all per-run scratch,
+	// so a trial loop that reuses one allocates nothing in steady state.
+	Runner = radio.Runner
+	// CSR is a graph's compiled flat-array adjacency (see Graph.Compile).
+	CSR = graph.CSR
 	// DeterministicProtocol marks protocols the Section 3 adversary can
 	// attack.
 	DeterministicProtocol = radio.DeterministicProtocol
@@ -121,6 +126,17 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 func Broadcast(g *Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
 	return radio.Run(g, p, cfg, opt)
 }
+
+// NewRunner returns a reusable simulation engine. One Runner run at a time;
+// hold one per goroutine (or pool them) for allocation-free trial loops:
+//
+//	r := adhocradio.NewRunner()
+//	var res adhocradio.Result
+//	for seed := uint64(1); seed <= trials; seed++ {
+//	    if err := r.RunInto(&res, g, p, adhocradio.Config{Seed: seed}, opt); err != nil { ... }
+//	    // consume res before the next RunInto overwrites it
+//	}
+func NewRunner() *Runner { return radio.NewRunner() }
 
 // DefaultMaxSteps returns the default simulation budget for n nodes.
 func DefaultMaxSteps(n int) int { return radio.DefaultMaxSteps(n) }

@@ -1,0 +1,190 @@
+// Command benchdelta compares two `go test -bench` output files and prints
+// an old-vs-new table per benchmark and metric. It is a deliberately small,
+// stdlib-only stand-in for benchstat (the repository takes no external
+// dependencies): values for repeated runs of the same benchmark (-count=N)
+// are averaged, and the delta column is the relative change of the mean.
+//
+// Usage:
+//
+//	go run ./cmd/benchdelta old.txt new.txt
+//	make bench-compare        # captures and compares for you
+//
+// Exit status is 0 even on regressions — the tool reports, humans judge;
+// use the committed bench/BENCH_*.json records for the authoritative
+// before/after story.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample accumulates repeated measurements of one benchmark metric.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 { return s.sum / float64(s.n) }
+
+// metrics maps "BenchmarkName\tunit" to its accumulated sample. Benchmark
+// order of first appearance is kept separately so output is stable.
+type benchFile struct {
+	metrics map[string]sample
+	order   []string // benchmark names, first-appearance order
+	seen    map[string]bool
+}
+
+// parseBench reads `go test -bench` output. Benchmark lines have the shape
+//
+//	BenchmarkName-8   	     123	   456789 ns/op	  1024 B/op	  3 allocs/op
+//
+// i.e. a name starting with "Benchmark", an iteration count, then
+// value/unit pairs. Everything else (goos/pkg headers, PASS, ok) is
+// ignored.
+func parseBench(path string) (*benchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bf := &benchFile{metrics: map[string]sample{}, seen: map[string]bool{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimRight(fields[0], "-0123456789") // strip -GOMAXPROCS
+		name = strings.TrimSuffix(name, "-")
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; not a benchmark line
+		}
+		if !bf.seen[name] {
+			bf.seen[name] = true
+			bf.order = append(bf.order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			key := name + "\t" + fields[i+1]
+			s := bf.metrics[key]
+			s.sum += v
+			s.n++
+			bf.metrics[key] = s
+		}
+	}
+	return bf, sc.Err()
+}
+
+// unitOrder fixes the column order within a benchmark; unknown units sort
+// after the known ones, alphabetically.
+var unitOrder = map[string]int{
+	"ns/op":     0,
+	"ns/step":   1,
+	"B/op":      2,
+	"allocs/op": 3,
+}
+
+func unitsFor(name string, files ...*benchFile) []string {
+	set := map[string]bool{}
+	for _, bf := range files {
+		for key := range bf.metrics {
+			bench, unit, _ := strings.Cut(key, "\t")
+			if bench == name {
+				set[unit] = true
+			}
+		}
+	}
+	units := make([]string, 0, len(set))
+	for u := range set {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		oi, iok := unitOrder[units[i]]
+		oj, jok := unitOrder[units[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return units[i] < units[j]
+		}
+	})
+	return units
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gk", v/1e3)
+	case v == float64(int64(v)):
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD NEW   (two `go test -bench` output files)")
+		os.Exit(2)
+	}
+	old, err := parseBench(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	niw, err := parseBench(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+
+	// Union of benchmark names: old-file order first, then new-only ones.
+	names := append([]string{}, old.order...)
+	for _, n := range niw.order {
+		if !old.seen[n] {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdelta: no benchmark lines found")
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-48s %-10s %12s %12s %10s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		for _, unit := range unitsFor(name, old, niw) {
+			key := name + "\t" + unit
+			so, haveOld := old.metrics[key]
+			sn, haveNew := niw.metrics[key]
+			oldCol, newCol, delta := "-", "-", "-"
+			if haveOld {
+				oldCol = fmtVal(so.mean())
+			}
+			if haveNew {
+				newCol = fmtVal(sn.mean())
+			}
+			if haveOld && haveNew && so.mean() != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(sn.mean()-so.mean())/so.mean())
+			}
+			fmt.Fprintf(w, "%-48s %-10s %12s %12s %10s\n",
+				strings.TrimPrefix(name, "Benchmark"), unit, oldCol, newCol, delta)
+		}
+	}
+}

@@ -126,7 +126,7 @@ func meanTime(ctx context.Context, cfg Config, build func(src *rng.Source) (*gra
 		if err != nil {
 			return 0, err
 		}
-		res, err := radio.Run(g, p(), radio.Config{Seed: seed + uint64(1000+i)}, radio.Options{})
+		res, err := simulate(g, p(), radio.Config{Seed: seed + uint64(1000+i)}, radio.Options{})
 		if err != nil {
 			return 0, err
 		}
@@ -359,7 +359,7 @@ func E5(ctx context.Context, cfg Config) (*Table, error) {
 		var rows [][]any
 		for _, name := range []string{"gnp", "tree", "grid"} {
 			g := workloads[name]
-			res, err := radio.Run(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
+			res, err := simulate(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("E5 %s n=%d: %w", name, n, err)
 			}
@@ -407,7 +407,7 @@ func E6(ctx context.Context, cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := radio.Run(g, det.CompleteLayered{}, radio.Config{}, radio.Options{})
+			res, err := simulate(g, det.CompleteLayered{}, radio.Config{}, radio.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("E6 n=%d d=%d: %w", n, d, err)
 			}
@@ -466,15 +466,15 @@ func E7(ctx context.Context, cfg Config) (*Table, error) {
 	}
 	err := runPoints(ctx, cfg, t, len(ds), func(_ context.Context, i int) ([][]any, error) {
 		d, g := ds[i], graphs[i]
-		rr, err := radio.Run(g, det.RoundRobin{}, radio.Config{}, radio.Options{})
+		rr, err := simulate(g, det.RoundRobin{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E7 rr d=%d: %w", d, err)
 		}
-		ss, err := radio.Run(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
+		ss, err := simulate(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E7 ss d=%d: %w", d, err)
 		}
-		inter, err := radio.Run(g, det.NewInterleaved(det.RoundRobin{}, det.SelectAndSend{}),
+		inter, err := simulate(g, det.NewInterleaved(det.RoundRobin{}, det.SelectAndSend{}),
 			radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E7 inter d=%d: %w", d, err)
@@ -521,7 +521,7 @@ func E8(ctx context.Context, cfg Config) (*Table, error) {
 		w := fanins[pi]
 		g := graph.StarChain(chain, w) // read-only, shared across trial workers
 		run := func(p radio.Protocol, seed uint64) int {
-			res, err := radio.Run(g, p, radio.Config{Seed: seed}, radio.Options{MaxSteps: budget})
+			res, err := simulate(g, p, radio.Config{Seed: seed}, radio.Options{MaxSteps: budget})
 			if err != nil {
 				return budget // censored at budget
 			}
@@ -585,7 +585,7 @@ func E9(ctx context.Context, cfg Config) (*Table, error) {
 	err = runPoints(ctx, cfg, t, len(protos), func(_ context.Context, i int) ([][]any, error) {
 		p := protos[i]
 		var col trace.Collector
-		res, err := radio.Run(g, p, radio.Config{Seed: cfg.Seed + 5}, radio.Options{Trace: col.Hook()})
+		res, err := simulate(g, p, radio.Config{Seed: cfg.Seed + 5}, radio.Options{Trace: col.Hook()})
 		if err != nil {
 			return nil, fmt.Errorf("E9 %s: %w", p.Name(), err)
 		}
@@ -622,11 +622,11 @@ func E10(ctx context.Context, cfg Config) (*Table, error) {
 		n := sizes[i]
 		src := rng.NewStream(cfg.Seed, uint64(n))
 		g := graph.RandomTree(n, src)
-		dfs, err := radio.Run(g, det.DFSNeighborhood{}, radio.Config{}, radio.Options{})
+		dfs, err := simulate(g, det.DFSNeighborhood{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E10 dfs n=%d: %w", n, err)
 		}
-		ss, err := radio.Run(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
+		ss, err := simulate(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E10 ss n=%d: %w", n, err)
 		}
@@ -662,15 +662,15 @@ func E11(ctx context.Context, cfg Config) (*Table, error) {
 		n := sizes[i]
 		src := rng.NewStream(cfg.Seed, uint64(3*n))
 		g := graph.GNPConnected(n, 3.0/float64(n), src)
-		spont, err := radio.Run(g, det.SpontaneousLinear{}, radio.Config{}, radio.Options{})
+		spont, err := simulate(g, det.SpontaneousLinear{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E11 spontaneous n=%d: %w", n, err)
 		}
-		dfs, err := radio.Run(g, det.DFSNeighborhood{}, radio.Config{}, radio.Options{})
+		dfs, err := simulate(g, det.DFSNeighborhood{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E11 dfs n=%d: %w", n, err)
 		}
-		ss, err := radio.Run(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
+		ss, err := simulate(g, det.SelectAndSend{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E11 ss n=%d: %w", n, err)
 		}
@@ -736,11 +736,11 @@ func E12(ctx context.Context, cfg Config) (*Table, error) {
 				}
 			}
 		}
-		bres, err := radio.Run(benignD, victim, radio.Config{}, radio.Options{})
+		bres, err := simulate(benignD, victim, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E12 benign n=%d: %w", n, err)
 		}
-		ures, err := radio.Run(benignU, det.CompleteLayered{}, radio.Config{}, radio.Options{})
+		ures, err := simulate(benignU, det.CompleteLayered{}, radio.Config{}, radio.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E12 undirected n=%d: %w", n, err)
 		}

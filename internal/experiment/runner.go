@@ -1,0 +1,29 @@
+package experiment
+
+import (
+	"sync"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+)
+
+// engines pools radio.Runner instances across the trial workers: a worker
+// draws an engine, runs one trial, and parks it again, so steady-state
+// trials reuse warm scratch instead of reallocating it per radio.Run call.
+// Which physical engine serves which trial is scheduling-dependent, but a
+// Runner carries no state a Result can observe between runs (pinned by the
+// radiotest battery and TestParallelBitIdentical), so tables stay
+// bit-identical for every worker count.
+var engines = sync.Pool{New: func() any { return radio.NewRunner() }}
+
+// simulate runs one trial through a pooled engine. Every simulation an
+// experiment performs goes through here.
+func simulate(g *graph.Graph, p radio.Protocol, cfg radio.Config, opt radio.Options) (*radio.Result, error) {
+	r := engines.Get().(*radio.Runner)
+	res, err := r.Run(g, p, cfg, opt)
+	// Park only on normal return: if a protocol panicked, the unwind skips
+	// this line and the mid-step engine is dropped for the GC instead of
+	// being handed to the next trial.
+	engines.Put(r)
+	return res, err
+}

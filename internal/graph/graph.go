@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is a directed graph on nodes 0..N-1. Out[v] lists the nodes whose
@@ -22,6 +23,11 @@ type Graph struct {
 	out        [][]int
 	in         [][]int
 	undirected bool
+
+	// csr caches the compiled flat-adjacency view (see Compile). Mutators
+	// store nil to invalidate it; atomic publication lets concurrent
+	// read-only users of a frozen graph share one compilation.
+	csr atomic.Pointer[CSR]
 }
 
 // New returns an empty graph with n nodes and no edges. undirected selects
@@ -95,6 +101,7 @@ func (g *Graph) MustAddEdge(u, v int) {
 func (g *Graph) addArc(u, v int) {
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
+	g.csr.Store(nil)
 }
 
 // removeEdge deletes the undirected edge {u, v}; generators use it for
@@ -106,6 +113,7 @@ func (g *Graph) removeEdge(u, v int) {
 		g.out[v] = removeValue(g.out[v], u)
 		g.in[u] = removeValue(g.in[u], v)
 	}
+	g.csr.Store(nil)
 }
 
 func removeValue(xs []int, v int) []int {
@@ -147,6 +155,7 @@ func (g *Graph) SortAdjacency() {
 		sort.Ints(g.out[v])
 		sort.Ints(g.in[v])
 	}
+	g.csr.Store(nil)
 }
 
 // Clone returns a deep copy of the graph.

@@ -9,12 +9,23 @@ import (
 )
 
 // Simulator micro-benchmarks: per-step cost under light (sparse
-// transmitters) and heavy (everyone transmits) load, and the relative cost
-// of the reference oracle.
+// transmitters) and heavy (everyone transmits) load, engine reuse, the
+// relative cost of the reference oracle, and the CSR-vs-slice adjacency
+// tally kernel. Every benchmark reports ns/step next to ns/op so runs with
+// different step budgets stay comparable.
+
+// reportSteps attaches the per-step cost metric; call after the timed loop.
+func reportSteps(b *testing.B, totalSteps int) {
+	b.Helper()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+}
 
 func benchRun(b *testing.B, g *graph.Graph, p Protocol, maxSteps int) {
 	b.Helper()
 	b.ReportAllocs()
+	totalSteps := 0
 	for i := 0; i < b.N; i++ {
 		// Fixed step budget: measure per-step cost; the protocol may well
 		// be incomplete at the cap.
@@ -22,10 +33,12 @@ func benchRun(b *testing.B, g *graph.Graph, p Protocol, maxSteps int) {
 		if err != nil && !errors.Is(err, ErrStepLimit) {
 			b.Fatal(err)
 		}
-		if res != nil && res.StepsSimulated == 0 {
+		if res == nil || res.StepsSimulated == 0 {
 			b.Fatal("no steps")
 		}
+		totalSteps += res.StepsSimulated
 	}
+	reportSteps(b, totalSteps)
 }
 
 func BenchmarkSimulatorSparseLoad(b *testing.B) {
@@ -39,26 +52,126 @@ func BenchmarkSimulatorDenseLoad(b *testing.B) {
 	benchRun(b, g, flood{}, 50)
 }
 
+// BenchmarkSimulatorRunnerReuse is the steady-state trial loop the
+// experiment engine runs: one Runner, one Result, many trials on the same
+// graph. With a protocol whose programs are zero-size and payloads nil, the
+// allocs/op column is the engine's own steady-state allocation count — the
+// tentpole target is 0.
+func BenchmarkSimulatorRunnerReuse(b *testing.B) {
+	g := graph.Clique(256)
+	r := NewRunner()
+	var res Result
+	if err := r.RunInto(&res, g, nilFlood{}, Config{}, Options{MaxSteps: 50, RunToMaxSteps: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalSteps := 0
+	for i := 0; i < b.N; i++ {
+		if err := r.RunInto(&res, g, nilFlood{}, Config{}, Options{MaxSteps: 50, RunToMaxSteps: true}); err != nil {
+			b.Fatal(err)
+		}
+		totalSteps += res.StepsSimulated
+	}
+	reportSteps(b, totalSteps)
+}
+
 func BenchmarkSimulatorVsReference(b *testing.B) {
 	src := rng.New(2)
 	g := graph.GNPConnected(256, 0.05, src)
 	// Fixed step budget: this measures per-step cost, not completion (the
 	// coin protocol can stall on high-degree nodes).
 	b.Run("optimized", func(b *testing.B) {
+		b.ReportAllocs()
+		totalSteps := 0
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(g, coin{}, Config{Seed: 7},
-				Options{MaxSteps: 300, RunToMaxSteps: true}); err != nil && !errors.Is(err, ErrStepLimit) {
+			res, err := Run(g, coin{}, Config{Seed: 7},
+				Options{MaxSteps: 300, RunToMaxSteps: true})
+			if err != nil && !errors.Is(err, ErrStepLimit) {
 				b.Fatal(err)
 			}
+			totalSteps += res.StepsSimulated
 		}
+		reportSteps(b, totalSteps)
 	})
 	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		totalSteps := 0
 		for i := 0; i < b.N; i++ {
 			// The reference stops with ErrStepLimit at the budget; that is
 			// the expected outcome here.
-			if _, err := RunReference(g, coin{}, Config{Seed: 7}, 300); err != nil && !errors.Is(err, ErrStepLimit) {
+			res, err := RunReference(g, coin{}, Config{Seed: 7}, 300)
+			if err != nil && !errors.Is(err, ErrStepLimit) {
 				b.Fatal(err)
 			}
+			totalSteps += res.StepsSimulated
 		}
+		reportSteps(b, totalSteps)
 	})
+}
+
+// The dense tally kernel, isolated: every node transmits on a clique, and
+// the benchmark measures only phase 2 — counting hits over the adjacency.
+// The CSR variant walks the compiled flat int32 arrays exactly as the
+// engine's dense path does; the slice variant is the pre-CSR hot loop
+// (pointer-chasing [][]int plus first-touch dirty tracking), kept here as
+// the comparison baseline.
+
+func BenchmarkTallyDenseCSR(b *testing.B) {
+	g := graph.Clique(256)
+	csr := g.Compile()
+	n := g.N()
+	hits := make([]int32, n)
+	lastFrom := make([]int32, n)
+	transmitters := make([]int, n)
+	for v := range transmitters {
+		transmitters[v] = v
+	}
+	outOff, outAdj := csr.OutOff, csr.OutAdj
+	b.ReportAllocs()
+	b.ResetTimer()
+	for bi := 0; bi < b.N; bi++ {
+		for i, u := range transmitters {
+			for _, v := range outAdj[outOff[u]:outOff[u+1]] {
+				hits[v]++
+				lastFrom[v] = int32(i)
+			}
+		}
+		for v := 0; v < n; v++ {
+			hits[v] = 0
+		}
+	}
+	_ = lastFrom
+}
+
+func BenchmarkTallyDenseSlice(b *testing.B) {
+	g := graph.Clique(256)
+	n := g.N()
+	hits := make([]int32, n)
+	lastFrom := make([]int32, n)
+	dirty := make([]int, 0, n)
+	transmitters := make([]int, n)
+	for v := range transmitters {
+		transmitters[v] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for bi := 0; bi < b.N; bi++ {
+		for i, u := range transmitters {
+			for _, v := range g.Out(u) {
+				if hits[v] == 0 {
+					dirty = append(dirty, v)
+				}
+				hits[v]++
+				if hits[v] == 1 {
+					lastFrom[v] = int32(i)
+				}
+			}
+		}
+		for _, v := range dirty {
+			hits[v] = 0
+		}
+		dirty = dirty[:0]
+	}
+	_ = lastFrom
 }

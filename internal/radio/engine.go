@@ -1,0 +1,355 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"adhocradio/internal/graph"
+)
+
+// Runner is a reusable simulation engine. It owns every piece of per-run
+// scratch the hot loop needs — reception counters, last-sender table,
+// half-duplex flags, the program table, transmitter/payload buffers — so
+// repeated trials on same-sized graphs perform zero steady-state allocations
+// beyond whatever the protocol's own NewNode does. The zero value is ready
+// to use; the package-level Run is a thin wrapper that spins up a fresh
+// Runner per call.
+//
+// The engine walks the graph's compiled CSR form (graph.Compile): flat
+// int32 adjacency arrays instead of [][]int spines. Per step it picks one
+// of two tally strategies by the transmitters' total out-degree: a sparse
+// path that tracks only the nodes actually hit (cost proportional to arcs
+// touched), and a dense path that tallies branch-free into the counter
+// array and then sweeps all nodes (cost arcs + n, cheaper once the arcs
+// touched exceed n). Both orders of delivery are observationally identical:
+// node programs are isolated state machines, so no program can see the
+// order in which other nodes were served within a step.
+//
+// A Runner must not be used from multiple goroutines at once. Parallel
+// harnesses give each worker its own Runner (or draw from a pool); the
+// simulation itself stays deterministic because a Runner carries no state
+// across runs that a Result could observe.
+type Runner struct {
+	// Per-node scratch, grown to the largest graph seen. Between runs (and
+	// between steps) hits and transmitted are all-zero/false; every step
+	// restores that invariant for exactly the entries it touched.
+	hits        []int32 // receptions tallied in the current step
+	lastFrom    []int32 // transmitter index of the most recent hitter
+	transmitted []bool  // half-duplex: transmitted in the current step
+	dirty       []int32 // nodes hit this step (sparse path only)
+	programs    []NodeProgram
+
+	// Step buffers, pre-sized to the node count (a step can have at most n
+	// transmitters and n receptions) so first steps never grow-copy.
+	active       []int
+	transmitters []int
+	payloads     []any
+	receptions   []Message
+
+	// Run-scoped state; cleared by finish so a pooled Runner does not pin
+	// graphs or programs alive between trials.
+	res           *Result
+	g             *graph.Graph
+	p             Protocol
+	na            NeighborAwareProtocol
+	cfg           Config
+	opt           Options
+	spontaneous   bool
+	informedCount int
+	running       bool
+}
+
+// NewRunner returns an empty engine. Scratch is allocated lazily on the
+// first run and reused afterwards.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run simulates protocol p on network g, allocating a fresh Result. See the
+// package-level Run for the semantics; the only difference is scratch reuse
+// across calls on the same Runner.
+func (r *Runner) Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
+	res := new(Result)
+	err := r.RunInto(res, g, p, cfg, opt)
+	if err != nil && !errors.Is(err, ErrStepLimit) {
+		return nil, err
+	}
+	return res, err
+}
+
+// RunInto is Run writing into a caller-owned Result, reusing its InformedAt
+// slice when the capacity suffices — the zero-allocation entry point for
+// tight trial loops. On a step-limit error the partially-filled Result is
+// left in place; on validation errors res is untouched.
+func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, opt Options) error {
+	n := g.N()
+	if n == 0 {
+		return errors.New("radio: empty graph")
+	}
+	if cfg.N == 0 {
+		cfg.N = n
+	}
+	if cfg.N != n {
+		return fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps(n)
+	}
+	csr := g.Compile()
+	r.ensure(n, opt)
+
+	informed := res.InformedAt
+	if cap(informed) < n {
+		informed = make([]int, n)
+	}
+	informed = informed[:n]
+	for i := range informed {
+		informed[i] = -1
+	}
+	*res = Result{BroadcastTime: -1, InformedAt: informed}
+	res.InformedAt[0] = 0
+
+	r.res, r.g, r.p, r.cfg, r.opt = res, g, p, cfg, opt
+	r.na, _ = p.(NeighborAwareProtocol)
+	r.spontaneous = false
+	if sp, ok := p.(SpontaneousProtocol); ok && sp.Spontaneous() {
+		r.spontaneous = true
+	}
+	r.active = r.active[:0]
+	r.active = append(r.active, 0)
+	r.programs[0] = r.newProgram(0)
+	r.informedCount = 1
+	if r.spontaneous {
+		for v := 1; v < n; v++ {
+			r.programs[v] = r.newProgram(v)
+			r.active = append(r.active, v)
+		}
+	}
+
+	outOff, outAdj := csr.OutOff, csr.OutAdj
+	for t := 1; ; t++ {
+		if r.informedCount == n && !opt.RunToMaxSteps {
+			break
+		}
+		if t > maxSteps {
+			if r.informedCount == n {
+				break
+			}
+			res.StepsSimulated = t - 1
+			informedCount := r.informedCount
+			r.finish()
+			return fmt.Errorf("radio: %w after %d steps (%d/%d informed, protocol %s)",
+				ErrStepLimit, maxSteps, informedCount, n, p.Name())
+		}
+
+		// Phase 1: collect transmitters among active nodes, tracking the
+		// total out-degree (to pick the tally strategy) and whether any
+		// payload is non-nil (nil payloads skip the boxing-sensitive
+		// SourceCarrier probing on every delivery).
+		r.transmitters = r.transmitters[:0]
+		r.payloads = r.payloads[:0]
+		allNil := true
+		arcs := 0
+		for _, v := range r.active {
+			tx, payload := r.programs[v].Act(t)
+			if tx {
+				r.transmitters = append(r.transmitters, v)
+				r.payloads = append(r.payloads, payload)
+				if payload != nil {
+					allNil = false
+				}
+				r.transmitted[v] = true
+				arcs += int(outOff[v+1] - outOff[v])
+			}
+		}
+		res.Transmissions += int64(len(r.transmitters))
+
+		// Phases 2+3: tally receptions over the flat CSR arrays, then
+		// deliver. hits is restored to all-zero on the way out.
+		r.receptions = r.receptions[:0]
+		hits, lastFrom := r.hits, r.lastFrom
+		if arcs >= n {
+			// Dense path: branch-free saturating-by-construction counters
+			// (a step has at most n-1 in-transmitters per node), then a
+			// full sweep.
+			for i, u := range r.transmitters {
+				for _, v := range outAdj[outOff[u]:outOff[u+1]] {
+					hits[v]++
+					lastFrom[v] = int32(i)
+				}
+			}
+			for v := 0; v < n; v++ {
+				h := hits[v]
+				if h == 0 {
+					continue
+				}
+				hits[v] = 0
+				if r.transmitted[v] {
+					continue // half-duplex: transmitters hear nothing
+				}
+				r.deliver(t, v, h, allNil)
+			}
+		} else {
+			// Sparse path: track first-touch nodes so the sweep visits only
+			// what was hit.
+			dirty := r.dirty[:0]
+			for i, u := range r.transmitters {
+				for _, v := range outAdj[outOff[u]:outOff[u+1]] {
+					if hits[v] == 0 {
+						dirty = append(dirty, v)
+						lastFrom[v] = int32(i)
+					}
+					hits[v]++
+				}
+			}
+			r.dirty = dirty
+			for _, v32 := range dirty {
+				v := int(v32)
+				h := hits[v]
+				hits[v] = 0
+				if r.transmitted[v] {
+					continue // half-duplex: transmitters hear nothing
+				}
+				r.deliver(t, v, h, allNil)
+			}
+		}
+		for _, u := range r.transmitters {
+			r.transmitted[u] = false
+		}
+
+		if r.informedCount == n && res.BroadcastTime == -1 {
+			res.BroadcastTime = t
+		}
+		if opt.Trace != nil {
+			opt.Trace(t, r.transmitters, r.receptions)
+		}
+		res.StepsSimulated = t
+	}
+
+	res.Completed = r.informedCount == n
+	if n == 1 {
+		res.BroadcastTime = 0
+		res.Completed = true
+	}
+	r.finish()
+	return nil
+}
+
+// deliver serves one non-transmitting node that was hit h times in step t:
+// exactly one hit is a reception, two or more a collision. allNil short-
+// circuits payload handling when no transmitter attached one this step.
+func (r *Runner) deliver(t, v int, h int32, allNil bool) {
+	switch {
+	case h == 1:
+		i := r.lastFrom[v]
+		var payload any
+		if !allNil {
+			payload = r.payloads[i]
+		}
+		msg := Message{From: r.transmitters[i], Payload: payload}
+		if r.res.InformedAt[v] == -1 {
+			carrier := true
+			if !allNil {
+				if c, ok := payload.(SourceCarrier); ok && !c.CarriesSourceMessage() {
+					carrier = false
+				}
+			}
+			switch {
+			case carrier:
+				r.res.InformedAt[v] = t
+				r.informedCount++
+				if !r.spontaneous {
+					r.programs[v] = r.newProgram(v)
+					r.active = append(r.active, v)
+				}
+			case !r.spontaneous:
+				return // label-only traffic cannot inform or be acted on
+			}
+		}
+		r.programs[v].Deliver(t, msg)
+		r.res.Receptions++
+		if r.opt.Trace != nil {
+			r.receptions = append(r.receptions, msg)
+		}
+	case h >= 2:
+		r.res.Collisions++
+		if r.opt.CollisionDetection && r.res.InformedAt[v] != -1 {
+			if cl, ok := r.programs[v].(CollisionListener); ok {
+				cl.DeliverCollision(t)
+			}
+		}
+	}
+}
+
+func (r *Runner) newProgram(v int) NodeProgram {
+	if r.na != nil {
+		neighbors := append([]int(nil), r.g.Out(v)...)
+		return r.na.NewNodeWithNeighbors(v, neighbors, r.cfg)
+	}
+	return r.p.NewNode(v, r.cfg)
+}
+
+// ensure sizes every scratch buffer for an n-node graph. Counters are
+// pre-sized from the graph, and step buffers get capacity n up front, so
+// even a first step with n transmitters on a dense graph never grow-copies.
+func (r *Runner) ensure(n int, opt Options) {
+	if r.running {
+		// The previous run unwound mid-step (a panicking program); the
+		// between-steps all-zero invariant on hits/transmitted may not
+		// hold, so rebuild rather than trust it.
+		r.hits, r.lastFrom, r.transmitted, r.dirty = nil, nil, nil, nil
+	}
+	r.running = true
+	if cap(r.hits) < n {
+		r.hits = make([]int32, n)
+		r.lastFrom = make([]int32, n)
+		r.transmitted = make([]bool, n)
+	}
+	r.hits = r.hits[:n]
+	r.lastFrom = r.lastFrom[:n]
+	r.transmitted = r.transmitted[:n]
+	if cap(r.dirty) < n {
+		r.dirty = make([]int32, 0, n)
+	}
+	if cap(r.programs) < n {
+		r.programs = make([]NodeProgram, n)
+	}
+	r.programs = r.programs[:n]
+	for i := range r.programs {
+		r.programs[i] = nil
+	}
+	if cap(r.active) < n {
+		r.active = make([]int, 0, n)
+	}
+	if cap(r.transmitters) < n {
+		r.transmitters = make([]int, 0, n)
+		r.payloads = make([]any, 0, n)
+	}
+	if opt.Trace != nil && cap(r.receptions) < n {
+		r.receptions = make([]Message, 0, n)
+	}
+}
+
+// finish drops every run-scoped reference so a parked Runner pins neither
+// programs, payloads, nor the graph, and marks the run cleanly ended.
+func (r *Runner) finish() {
+	for i := range r.programs {
+		r.programs[i] = nil
+	}
+	payloads := r.payloads[:cap(r.payloads)]
+	for i := range payloads {
+		payloads[i] = nil
+	}
+	r.payloads = r.payloads[:0]
+	receptions := r.receptions[:cap(r.receptions)]
+	for i := range receptions {
+		receptions[i] = Message{}
+	}
+	r.receptions = r.receptions[:0]
+	r.active = r.active[:0]
+	r.transmitters = r.transmitters[:0]
+	r.dirty = r.dirty[:0]
+	r.res, r.g, r.p, r.na = nil, nil, nil, nil
+	r.cfg, r.opt = Config{}, Options{}
+	r.informedCount = 0
+	r.running = false
+}

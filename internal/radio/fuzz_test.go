@@ -1,0 +1,123 @@
+package radio
+
+import (
+	"errors"
+	"testing"
+
+	"adhocradio/internal/graph"
+	"adhocradio/internal/rng"
+)
+
+// labelOnly is a payload that does not carry the source message (the shape
+// of Section 4's Echo replies): hearing one must not inform a node.
+type labelOnly struct{ from int }
+
+func (labelOnly) CarriesSourceMessage() bool { return false }
+
+// mixed is a deterministic protocol that interleaves carrier and label-only
+// transmissions on a label-dependent schedule, exercising every delivery
+// rule: collisions, half-duplex, and the SourceCarrier gate.
+type mixed struct{}
+
+func (mixed) Name() string { return "mixed" }
+func (mixed) NewNode(label int, cfg Config) NodeProgram {
+	return &mixedNode{label: label}
+}
+
+type mixedNode struct{ label int }
+
+func (n *mixedNode) Act(t int) (bool, any) {
+	switch (t + n.label) % 4 {
+	case 0:
+		return true, nil // carrier (nil payloads always carry the source message)
+	case 1:
+		return true, labelOnly{from: n.label}
+	default:
+		return false, nil
+	}
+}
+func (n *mixedNode) Deliver(t int, msg Message) {}
+
+// fuzzGraph deterministically derives a small broadcastable topology from
+// the fuzz input.
+func fuzzGraph(gseed uint64, kind uint8, n int) *graph.Graph {
+	src := rng.New(gseed)
+	switch kind % 5 {
+	case 0:
+		return graph.GNPConnected(n, 3.0/float64(n), src)
+	case 1:
+		return graph.RandomTree(n, src)
+	case 2:
+		g, err := graph.RandomLayered(n, 2+int(gseed%5), 0.3, src)
+		if err != nil {
+			return graph.Path(n)
+		}
+		return g
+	case 3:
+		g, err := graph.DirectedLayered(n, 2+int(gseed%5), 0.3, src)
+		if err != nil {
+			return graph.Path(n)
+		}
+		return g
+	default:
+		return graph.GNPConnected(n, 0.2, src)
+	}
+}
+
+// FuzzRunVsReference is the differential fuzzer the hot loop is gated on:
+// for random connected graphs, seeds, and protocols (randomized coin,
+// deterministic flood, SourceCarrier-mixing mixed), the optimized CSR
+// engine and the naive oracle must agree on every observable Result field —
+// including runs that hit the step budget.
+func FuzzRunVsReference(f *testing.F) {
+	f.Add(uint64(1), uint64(7), uint8(0), uint8(20), uint8(0))
+	f.Add(uint64(2), uint64(9), uint8(1), uint8(40), uint8(1))
+	f.Add(uint64(3), uint64(11), uint8(2), uint8(33), uint8(2))
+	f.Add(uint64(4), uint64(13), uint8(3), uint8(48), uint8(0))
+	f.Add(uint64(5), uint64(15), uint8(4), uint8(64), uint8(2))
+	f.Add(uint64(6), uint64(17), uint8(0), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, gseed, pseed uint64, kind, size, proto uint8) {
+		n := 2 + int(size)%79 // [2, 80]
+		g := fuzzGraph(gseed, kind, n)
+		var p Protocol
+		switch proto % 3 {
+		case 0:
+			p = coin{}
+		case 1:
+			p = flood{}
+		default:
+			p = mixed{}
+		}
+		// A finite budget keeps livelocking combinations (flood on a
+		// colliding front) bounded; both simulators must then agree on the
+		// partial result and on hitting the limit at all.
+		const budget = 4096
+		cfg := Config{Seed: pseed}
+		fast, fastErr := Run(g, p, cfg, Options{MaxSteps: budget})
+		ref, refErr := RunReference(g, p, cfg, budget)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("error mismatch: fast=%v ref=%v", fastErr, refErr)
+		}
+		if fastErr != nil {
+			if !errors.Is(fastErr, ErrStepLimit) || !errors.Is(refErr, ErrStepLimit) {
+				t.Fatalf("unexpected errors: fast=%v ref=%v", fastErr, refErr)
+			}
+		}
+		if fast == nil || ref == nil {
+			t.Fatalf("nil result without validation error: fast=%v ref=%v", fast, ref)
+		}
+		if fast.BroadcastTime != ref.BroadcastTime ||
+			fast.Transmissions != ref.Transmissions ||
+			fast.Receptions != ref.Receptions ||
+			fast.Collisions != ref.Collisions {
+			t.Fatalf("divergence on %s (n=%d kind=%d):\nfast %+v\nref  %+v",
+				p.Name(), n, kind%5, fast, ref)
+		}
+		for v := range fast.InformedAt {
+			if fast.InformedAt[v] != ref.InformedAt[v] {
+				t.Fatalf("%s: InformedAt[%d] = %d (optimized) vs %d (reference)",
+					p.Name(), v, fast.InformedAt[v], ref.InformedAt[v])
+			}
+		}
+	})
+}

@@ -22,7 +22,6 @@ package radio
 
 import (
 	"errors"
-	"fmt"
 
 	"adhocradio/internal/graph"
 )
@@ -204,166 +203,11 @@ func DefaultMaxSteps(n int) int {
 //
 // Run returns an error (wrapping ErrStepLimit) if the budget is exhausted;
 // the partial Result is still returned alongside it.
+//
+// Run is a thin wrapper that spins up a fresh Runner per call. Trial loops
+// that simulate many times on same-sized graphs should hold a Runner (see
+// its RunInto) to reuse the engine scratch across runs.
 func Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
-	n := g.N()
-	if n == 0 {
-		return nil, errors.New("radio: empty graph")
-	}
-	if cfg.N == 0 {
-		cfg.N = n
-	}
-	if cfg.N != n {
-		return nil, fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
-	}
-	maxSteps := opt.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = DefaultMaxSteps(n)
-	}
-
-	res := &Result{
-		BroadcastTime: -1,
-		InformedAt:    make([]int, n),
-	}
-	for v := range res.InformedAt {
-		res.InformedAt[v] = -1
-	}
-	res.InformedAt[0] = 0
-
-	newProgram := func(v int) NodeProgram {
-		if na, ok := p.(NeighborAwareProtocol); ok {
-			neighbors := append([]int(nil), g.Out(v)...)
-			return na.NewNodeWithNeighbors(v, neighbors, cfg)
-		}
-		return p.NewNode(v, cfg)
-	}
-	spontaneous := false
-	if sp, ok := p.(SpontaneousProtocol); ok && sp.Spontaneous() {
-		spontaneous = true
-	}
-	programs := make([]NodeProgram, n)
-	programs[0] = newProgram(0)
-	// active lists the nodes whose programs run: the informed prefix in the
-	// standard model, everyone in the spontaneous variant.
-	active := make([]int, 0, n)
-	active = append(active, 0)
-	informedCount := 1
-	if spontaneous {
-		for v := 1; v < n; v++ {
-			programs[v] = newProgram(v)
-			active = append(active, v)
-		}
-	}
-
-	// Per-step scratch: reception counts and last sender per node.
-	hits := make([]int32, n)
-	lastFrom := make([]int32, n)
-	dirty := make([]int, 0, 64)
-
-	transmitters := make([]int, 0, 64)
-	payloads := make([]any, 0, 64)
-	transmittedThisStep := make([]bool, n)
-	receptions := make([]Message, 0, 64)
-
-	for t := 1; ; t++ {
-		if informedCount == n && !opt.RunToMaxSteps {
-			break
-		}
-		if t > maxSteps {
-			if informedCount == n {
-				break
-			}
-			res.StepsSimulated = t - 1
-			return res, fmt.Errorf("radio: %w after %d steps (%d/%d informed, protocol %s)",
-				ErrStepLimit, maxSteps, informedCount, n, p.Name())
-		}
-
-		// Phase 1: collect transmitters among active nodes.
-		transmitters = transmitters[:0]
-		payloads = payloads[:0]
-		for _, v := range active {
-			tx, payload := programs[v].Act(t)
-			if tx {
-				transmitters = append(transmitters, v)
-				payloads = append(payloads, payload)
-				transmittedThisStep[v] = true
-			}
-		}
-		res.Transmissions += int64(len(transmitters))
-
-		// Phase 2: tally receptions.
-		for i, u := range transmitters {
-			for _, v := range g.Out(u) {
-				if hits[v] == 0 {
-					dirty = append(dirty, v)
-				}
-				hits[v]++
-				if hits[v] == 1 {
-					lastFrom[v] = int32(i)
-				}
-			}
-		}
-
-		// Phase 3: deliver.
-		receptions = receptions[:0]
-		for _, v := range dirty {
-			h := hits[v]
-			hits[v] = 0
-			if transmittedThisStep[v] {
-				continue // half-duplex: transmitters hear nothing
-			}
-			switch {
-			case h == 1:
-				i := lastFrom[v]
-				msg := Message{From: transmitters[i], Payload: payloads[i]}
-				if res.InformedAt[v] == -1 {
-					carrier := true
-					if c, ok := msg.Payload.(SourceCarrier); ok && !c.CarriesSourceMessage() {
-						carrier = false
-					}
-					switch {
-					case carrier:
-						res.InformedAt[v] = t
-						informedCount++
-						if !spontaneous {
-							programs[v] = newProgram(v)
-							active = append(active, v)
-						}
-					case !spontaneous:
-						continue // label-only traffic cannot inform or be acted on
-					}
-				}
-				programs[v].Deliver(t, msg)
-				res.Receptions++
-				if opt.Trace != nil {
-					receptions = append(receptions, msg)
-				}
-			case h >= 2:
-				res.Collisions++
-				if opt.CollisionDetection && res.InformedAt[v] != -1 {
-					if cl, ok := programs[v].(CollisionListener); ok {
-						cl.DeliverCollision(t)
-					}
-				}
-			}
-		}
-		dirty = dirty[:0]
-		for _, u := range transmitters {
-			transmittedThisStep[u] = false
-		}
-
-		if informedCount == n && res.BroadcastTime == -1 {
-			res.BroadcastTime = t
-		}
-		if opt.Trace != nil {
-			opt.Trace(t, transmitters, receptions)
-		}
-		res.StepsSimulated = t
-	}
-
-	res.Completed = informedCount == n
-	if n == 1 {
-		res.BroadcastTime = 0
-		res.Completed = true
-	}
-	return res, nil
+	var r Runner
+	return r.Run(g, p, cfg, opt)
 }

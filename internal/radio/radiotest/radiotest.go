@@ -61,13 +61,20 @@ type Options struct {
 //  2. information travels at most one hop per step:
 //     InformedAt[v] >= dist(v) for every node ("speed of light");
 //  3. the source is informed at step 0 and everyone else strictly later;
-//  4. the same seed replays to the identical result.
+//  4. the same seed replays to the identical result — through a reused
+//     radio.Runner, so engine-scratch reuse is proven to leak nothing
+//     between runs for every protocol;
+//  5. the optimized engine agrees with the naive RunReference oracle on
+//     every Result field (differential validation of the CSR hot loop).
 func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 	t.Helper()
 	seeds := opt.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{1, 2}
 	}
+	// One engine shared across all topologies and seeds: any scratch state
+	// bleeding from one run into the next shows up as a replay divergence.
+	runner := radio.NewRunner()
 	battery := Battery(7)
 	names := make([]string, 0, len(battery))
 	//radiolint:ignore detmaprange names are sorted before use
@@ -110,8 +117,8 @@ func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 							seed, v, dist[v], at)
 					}
 				}
-				// Replay determinism.
-				res2, err := radio.Run(g, build(), radio.Config{Seed: seed},
+				// Replay determinism, through the reused engine.
+				res2, err := runner.Run(g, build(), radio.Config{Seed: seed},
 					radio.Options{MaxSteps: opt.MaxSteps})
 				if err != nil {
 					t.Fatalf("seed %d replay: %v", seed, err)
@@ -119,6 +126,25 @@ func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 				if res.BroadcastTime != res2.BroadcastTime || res.Transmissions != res2.Transmissions {
 					t.Fatalf("seed %d: replay diverged (%d/%d vs %d/%d)", seed,
 						res.BroadcastTime, res.Transmissions, res2.BroadcastTime, res2.Transmissions)
+				}
+				// Differential validation: the optimized CSR engine must
+				// reproduce the naive oracle byte for byte.
+				ref, err := radio.RunReference(g, build(), radio.Config{Seed: seed}, opt.MaxSteps)
+				if err != nil {
+					t.Fatalf("seed %d reference: %v", seed, err)
+				}
+				if res.BroadcastTime != ref.BroadcastTime ||
+					res.Transmissions != ref.Transmissions ||
+					res.Receptions != ref.Receptions ||
+					res.Collisions != ref.Collisions {
+					t.Fatalf("seed %d: optimized vs reference diverged:\nfast %+v\nref  %+v",
+						seed, res, ref)
+				}
+				for v := range res.InformedAt {
+					if res.InformedAt[v] != ref.InformedAt[v] {
+						t.Fatalf("seed %d: InformedAt[%d] %d (optimized) vs %d (reference)",
+							seed, v, res.InformedAt[v], ref.InformedAt[v])
+					}
 				}
 			}
 		})
