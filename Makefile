@@ -6,7 +6,8 @@ GO ?= go
 # Packages with concurrency-bearing code or parallel test harnesses; they
 # run under the race detector on every check. The root package carries the
 # soak tests, which -short skips; `make race-full` runs them raced too.
-RACE_PKGS := ./internal/radio/... ./internal/experiment/... ./internal/graph/... .
+RACE_PKGS := ./internal/radio/... ./internal/experiment/... ./internal/graph/... \
+	./internal/fault/... .
 
 # Where `make bench-smoke` writes its BENCH_*.json record; CI uploads the
 # same directory as a build artifact.
@@ -21,7 +22,7 @@ BENCH_BASELINE ?= bench/simcore-baseline.txt
 BENCH_COUNT ?= 5
 
 .PHONY: check build test vet radiolint race race-full fmt-check bench-smoke \
-	bench-compare bench-save
+	bench-compare bench-save fuzz-smoke
 
 check: build vet fmt-check radiolint test race
 
@@ -61,6 +62,13 @@ bench-save:
 	@mkdir -p $(dir $(BENCH_BASELINE))
 	$(GO) test -run=NONE -bench=. -count=$(BENCH_COUNT) ./internal/radio/ \
 		| tee $(BENCH_BASELINE)
+
+# A short differential-fuzzing pass over the optimized engine vs the naive
+# reference, including fault-injected inputs. The committed corpus under
+# internal/radio/testdata/fuzz/ always replays as part of `make test`; this
+# target additionally mutates for a few seconds to probe fresh inputs.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzRunVsReference -fuzztime=10s ./internal/radio
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -26,7 +26,7 @@
 //
 // Topology generators (Path, Star, CompleteLayeredNetwork, RandomLayered,
 // GNPConnected, RandomTree, Grid, UnitDisk, StarChain, ...) cover the
-// workloads of the experiments E1–E14 described in DESIGN.md; RunExperiment
+// workloads of the experiments E1–E17 described in DESIGN.md; RunExperiment
 // regenerates any of their tables.
 //
 // A minimal session:
@@ -46,6 +46,7 @@ import (
 	"adhocradio/internal/decay"
 	"adhocradio/internal/det"
 	"adhocradio/internal/experiment"
+	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/lowerbound"
 	"adhocradio/internal/radio"
@@ -64,6 +65,10 @@ type (
 	Config = radio.Config
 	// Options controls a simulation run.
 	Options = radio.Options
+	// FaultPlan is a deterministic, composable fault-injection plan (link
+	// loss, topology churn, jammers, crash and sleep-wake schedules);
+	// attach one via Options.Fault. See internal/fault for the semantics.
+	FaultPlan = fault.Plan
 	// Result reports a completed broadcast simulation.
 	Result = radio.Result
 	// Message is a successful reception.
@@ -322,12 +327,12 @@ func BuildUniversalSequenceRelaxed(r, d int) (*UniversalSequence, error) {
 	return sequences.BuildRelaxed(r, d)
 }
 
-// Experiments E1–E14.
+// Experiments E1–E17.
 
 // Experiments lists the registered reproduction experiments.
 func Experiments() []experiment.Experiment { return experiment.Registry() }
 
-// RunExperiment runs one experiment by ID ("E1".."E14") and renders its
+// RunExperiment runs one experiment by ID ("E1".."E17") and renders its
 // table to w.
 func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) (*ExperimentTable, error) {
 	return RunExperimentContext(context.Background(), id, cfg, w)

@@ -117,7 +117,7 @@ func TestUniversalSequenceFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 17 {
 		t.Fatalf("%d experiments", len(Experiments()))
 	}
 	var buf bytes.Buffer

@@ -1,6 +1,6 @@
 package adhocradio
 
-// One benchmark per reproduction experiment (E1–E14 of DESIGN.md) at full
+// One benchmark per reproduction experiment (E1–E17 of DESIGN.md) at full
 // scale, plus micro-benchmarks of each broadcasting algorithm on fixed
 // topologies. The experiment benchmarks regenerate the tables of
 // EXPERIMENTS.md; run with
@@ -148,6 +148,19 @@ func BenchmarkE12DirectedHardness(b *testing.B) { benchExperiment(b, "E12") }
 // BenchmarkE13DirectedRandomized regenerates the §2 directed-generality
 // check.
 func BenchmarkE13DirectedRandomized(b *testing.B) { benchExperiment(b, "E13") }
+
+// Fault-extension benchmarks (E15–E17): degradation curves under link
+// loss, jamming, and crashes. Dominated by the censored Select-and-Send
+// runs, so these are the slowest experiment benchmarks.
+
+// BenchmarkE15LinkLossDegradation regenerates the loss sweep.
+func BenchmarkE15LinkLossDegradation(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16JammingDegradation regenerates the jammer sweep.
+func BenchmarkE16JammingDegradation(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17CrashTolerance regenerates the DFS-vs-Decay crash table.
+func BenchmarkE17CrashTolerance(b *testing.B) { benchExperiment(b, "E17") }
 
 func BenchmarkDirectedAdversaryBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -17,6 +17,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -60,8 +61,7 @@ func parseBench(path string) (*benchFile, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := strings.TrimRight(fields[0], "-0123456789") // strip -GOMAXPROCS
-		name = strings.TrimSuffix(name, "-")
+		name := stripCount(fields[0])
 		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue // not an iteration count; not a benchmark line
 		}
@@ -81,7 +81,30 @@ func parseBench(path string) (*benchFile, error) {
 			bf.metrics[key] = s
 		}
 	}
-	return bf, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(bf.order) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found (is this really `go test -bench` output?)", path)
+	}
+	return bf, nil
+}
+
+// stripCount removes the "-<GOMAXPROCS>" suffix go test appends to benchmark
+// names — and only it. Trailing digits that belong to the name
+// ("BenchmarkRun100-8") and interior dashes ("BenchmarkCSR-dense/n=512-8")
+// must survive; a blanket TrimRight over "-0123456789" would eat both.
+func stripCount(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // unitOrder fixes the column order within a benchmark; unknown units sort
@@ -152,7 +175,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdelta:", err)
 		os.Exit(1)
 	}
+	w := bufio.NewWriter(os.Stdout)
+	writeDelta(w, old, niw)
+	w.Flush()
+}
 
+// writeDelta renders the old-vs-new table. Both files are known non-empty
+// (parseBench rejects files without benchmark lines).
+func writeDelta(w io.Writer, old, niw *benchFile) {
 	// Union of benchmark names: old-file order first, then new-only ones.
 	names := append([]string{}, old.order...)
 	for _, n := range niw.order {
@@ -160,13 +190,7 @@ func main() {
 			names = append(names, n)
 		}
 	}
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdelta: no benchmark lines found")
-		os.Exit(1)
-	}
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "%-48s %-10s %12s %12s %10s\n", "benchmark", "unit", "old", "new", "delta")
 	for _, name := range names {
 		for _, unit := range unitsFor(name, old, niw) {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStripCount(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkRun-8", "BenchmarkRun"},
+		{"BenchmarkRun100-8", "BenchmarkRun100"},        // digits in the name survive
+		{"BenchmarkRun100", "BenchmarkRun100"},          // no suffix at all
+		{"BenchmarkCSR-dense-16", "BenchmarkCSR-dense"}, // interior dash survives
+		{"BenchmarkRun/size=100-8", "BenchmarkRun/size=100"},
+		{"BenchmarkE5-quick", "BenchmarkE5-quick"}, // non-numeric suffix kept
+		{"BenchmarkX-", "BenchmarkX-"},             // trailing dash, no digits
+		{"Benchmark-8", "Benchmark"},
+	}
+	for _, c := range cases {
+		if got := stripCount(c.in); got != c.want {
+			t.Errorf("stripCount(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantErr string
+		// expected "name\tunit" -> mean after a successful parse
+		want map[string]float64
+	}{
+		{
+			name:    "plain",
+			content: "goos: linux\nBenchmarkRun-8   \t 123\t 456789 ns/op\t 1024 B/op\t 3 allocs/op\nPASS\n",
+			want: map[string]float64{
+				"BenchmarkRun\tns/op":     456789,
+				"BenchmarkRun\tB/op":      1024,
+				"BenchmarkRun\tallocs/op": 3,
+			},
+		},
+		{
+			name:    "digits-and-dashes-in-names",
+			content: "BenchmarkRun100-8 10 11 ns/op\nBenchmarkCSR-dense-8 10 22 ns/op\n",
+			want: map[string]float64{
+				"BenchmarkRun100\tns/op":    11,
+				"BenchmarkCSR-dense\tns/op": 22,
+			},
+		},
+		{
+			name:    "ns-per-step-unit",
+			content: "BenchmarkSimPath-4 5 99 ns/step\n",
+			want:    map[string]float64{"BenchmarkSimPath\tns/step": 99},
+		},
+		{
+			name:    "count-averaging",
+			content: "BenchmarkRun-8 10 100 ns/op\nBenchmarkRun-8 10 300 ns/op\n",
+			want:    map[string]float64{"BenchmarkRun\tns/op": 200},
+		},
+		{
+			name:    "empty-file",
+			content: "",
+			wantErr: "no benchmark lines",
+		},
+		{
+			name:    "no-benchmark-lines",
+			content: "goos: linux\ngoarch: amd64\nPASS\nok  \tadhocradio\t1.2s\n",
+			wantErr: "no benchmark lines",
+		},
+		{
+			name:    "benchmark-prefix-but-not-a-result",
+			content: "BenchmarkRun-8 started something else entirely\n",
+			wantErr: "no benchmark lines",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bf, err := parseBench(writeTemp(t, c.content))
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for key, mean := range c.want {
+				s, ok := bf.metrics[key]
+				if !ok {
+					t.Fatalf("metric %q missing (have %v)", key, bf.metrics)
+				}
+				if s.mean() != mean {
+					t.Errorf("metric %q mean = %v, want %v", key, s.mean(), mean)
+				}
+			}
+			if len(bf.metrics) != len(c.want) {
+				t.Errorf("parsed %d metrics, want %d: %v", len(bf.metrics), len(c.want), bf.metrics)
+			}
+		})
+	}
+}
+
+// TestParseBenchMissingFile: a missing baseline is an explicit error, not an
+// empty (and silently "all new") comparison.
+func TestParseBenchMissingFile(t *testing.T) {
+	if _, err := parseBench(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteDelta(t *testing.T) {
+	old, err := parseBench(writeTemp(t, "BenchmarkRun100-8 10 100 ns/op\nBenchmarkOldOnly-8 10 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	niw, err := parseBench(writeTemp(t, "BenchmarkRun100-8 10 150 ns/op\nBenchmarkNewOnly-8 10 7 ns/step\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writeDelta(&buf, old, niw)
+	out := buf.String()
+	for _, want := range []string{"Run100", "+50.0%", "OldOnly", "NewOnly", "ns/step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Run100-8") || strings.Contains(out, "Run1\t") {
+		t.Errorf("benchmark name mangled:\n%s", out)
+	}
+}

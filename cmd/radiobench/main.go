@@ -1,4 +1,4 @@
-// Command radiobench regenerates the reproduction experiments E1–E14 of
+// Command radiobench regenerates the reproduction experiments E1–E17 of
 // DESIGN.md and prints their tables (optionally also as CSV files and as a
 // machine-readable BENCH_<id>.json record).
 //
@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,36 +45,56 @@ func main() {
 	}
 }
 
+// options carries the resolved flag values; run parses them from the
+// command line, tests drive runWith directly.
+type options struct {
+	only     string
+	quick    bool
+	trials   int
+	seed     uint64
+	parallel int
+	csvDir   string
+	jsonDir  string
+	runID    string
+	verify   bool
+}
+
 func run() error {
-	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		quick    = flag.Bool("quick", false, "reduced problem sizes")
-		trials   = flag.Int("trials", 0, "trials per randomized point (0 = per-experiment default)")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		parallel = flag.Int("parallel", 0, "worker goroutines for independent points/trials (0 = all cores, 1 = sequential; output is identical either way)")
-		csvDir   = flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
-		jsonDir  = flag.String("json", "", "directory to write the BENCH_<runid>.json record (created if missing)")
-		runID    = flag.String("runid", "", "run identifier for the JSON file name (default: <quick|full>_seed<seed>)")
-		verify   = flag.Bool("verify", false, "assert the paper's qualitative claims on each table (scale-sensitive checks are skipped under -quick)")
-	)
+	var o options
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids (default: all)")
+	flag.BoolVar(&o.quick, "quick", false, "reduced problem sizes")
+	flag.IntVar(&o.trials, "trials", 0, "trials per randomized point (0 = per-experiment default)")
+	flag.Uint64Var(&o.seed, "seed", 1, "master seed")
+	flag.IntVar(&o.parallel, "parallel", 0, "worker goroutines for independent points/trials (0 = all cores, 1 = sequential; output is identical either way)")
+	flag.StringVar(&o.csvDir, "csv", "", "directory to write per-table CSV files (created if missing)")
+	flag.StringVar(&o.jsonDir, "json", "", "directory to write the BENCH_<runid>.json record (created if missing)")
+	flag.StringVar(&o.runID, "runid", "", "run identifier for the JSON file name (default: <quick|full>_seed<seed>)")
+	flag.BoolVar(&o.verify, "verify", false, "assert the paper's qualitative claims on each table (scale-sensitive checks are skipped under -quick)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	return runWith(ctx, o, os.Stdout)
+}
 
+// runWith executes the experiment sweep. A cancelled ctx (SIGINT in normal
+// operation) stops the run between measurement points: completed tables are
+// still rendered and written, the JSON record carries "interrupted": true,
+// and the returned error is non-nil so the process exits non-zero.
+func runWith(ctx context.Context, o options, stdout io.Writer) error {
 	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
+	if o.only != "" {
+		for _, id := range strings.Split(o.only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	workers := *parallel
+	workers := o.parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cfg := adhocradio.ExperimentConfig{Seed: *seed, Quick: *quick, Trials: *trials, Parallel: workers}
+	cfg := adhocradio.ExperimentConfig{Seed: o.seed, Quick: o.quick, Trials: o.trials, Parallel: workers}
 
-	for _, dir := range []string{*csvDir, *jsonDir} {
+	for _, dir := range []string{o.csvDir, o.jsonDir} {
 		if dir == "" {
 			continue
 		}
@@ -82,21 +103,21 @@ func run() error {
 		}
 	}
 
-	id := *runID
+	id := o.runID
 	if id == "" {
 		mode := "full"
-		if *quick {
+		if o.quick {
 			mode = "quick"
 		}
-		id = fmt.Sprintf("%s_seed%d", mode, *seed)
+		id = fmt.Sprintf("%s_seed%d", mode, o.seed)
 	}
 	record := &benchjson.Run{
 		Schema:     benchjson.SchemaVersion,
 		ID:         id,
-		Seed:       *seed,
-		Quick:      *quick,
-		Trials:     *trials,
-		Parallel:   *parallel,
+		Seed:       o.seed,
+		Quick:      o.quick,
+		Trials:     o.trials,
+		Parallel:   o.parallel,
 		Workers:    workers,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -127,7 +148,7 @@ func run() error {
 			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if err := tab.Render(os.Stdout); err != nil {
+		if err := tab.Render(stdout); err != nil {
 			return err
 		}
 		je := benchjson.FromTable(tab)
@@ -135,21 +156,21 @@ func run() error {
 			WallMS: time.Since(start).Milliseconds(),
 			CPUMS:  (cpuTime() - cpu0).Milliseconds(),
 		}
-		if *verify {
-			je.ShapeCheck = checkShape(e.ID, tab, *quick)
+		if o.verify {
+			je.ShapeCheck = checkShape(e.ID, tab, o.quick)
 			switch {
 			case je.ShapeCheck == "pass":
-				fmt.Printf("shape check: the paper's claim holds on this table\n")
+				fmt.Fprintf(stdout, "shape check: the paper's claim holds on this table\n")
 			case strings.HasPrefix(je.ShapeCheck, "fail"):
-				fmt.Printf("shape check: FAILED: %s\n", strings.TrimPrefix(je.ShapeCheck, "fail: "))
+				fmt.Fprintf(stdout, "shape check: FAILED: %s\n", strings.TrimPrefix(je.ShapeCheck, "fail: "))
 				failures = append(failures, e.ID)
 			case je.ShapeCheck != "":
-				fmt.Printf("shape check: %s\n", je.ShapeCheck)
+				fmt.Fprintf(stdout, "shape check: %s\n", je.ShapeCheck)
 			}
 		}
-		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			if err := writeCSV(filepath.Join(*csvDir, e.ID+".csv"), tab); err != nil {
+		fmt.Fprintf(stdout, "(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if o.csvDir != "" {
+			if err := writeCSV(filepath.Join(o.csvDir, e.ID+".csv"), tab); err != nil {
 				return err
 			}
 		}
@@ -161,12 +182,12 @@ func run() error {
 		CPUMS:  (cpuTime() - totalCPU).Milliseconds(),
 	}
 
-	if *jsonDir != "" {
-		path := filepath.Join(*jsonDir, benchjson.Filename(id))
+	if o.jsonDir != "" {
+		path := filepath.Join(o.jsonDir, benchjson.Filename(id))
 		if err := writeJSON(path, record); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d experiments)\n", path, len(record.Experiments))
+		fmt.Fprintf(stdout, "wrote %s (%d experiments)\n", path, len(record.Experiments))
 	}
 	if interrupted {
 		return fmt.Errorf("interrupted: %d experiment(s) completed before cancellation", len(record.Experiments))

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/experiment/benchjson"
+)
+
+// TestRunWithCancelledContext drives the SIGINT path directly: a cancelled
+// context must produce a non-nil error (so main exits non-zero), and the
+// partial BENCH_*.json must still be written, schema-valid, and flagged
+// interrupted.
+func TestRunWithCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := runWith(ctx, options{only: "E5", quick: true, jsonDir: dir, runID: "sigint"}, &out)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error (process would exit 0)")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want an interruption error", err)
+	}
+
+	path := filepath.Join(dir, benchjson.Filename("sigint"))
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		t.Fatalf("partial record not written: %v", ferr)
+	}
+	defer f.Close()
+	rec, derr := benchjson.Decode(f)
+	if derr != nil {
+		t.Fatalf("partial record not schema-valid: %v", derr)
+	}
+	if !rec.Interrupted {
+		t.Fatal("partial record not flagged interrupted")
+	}
+	if rec.Schema != benchjson.SchemaVersion {
+		t.Fatalf("partial record schema %d, want %d", rec.Schema, benchjson.SchemaVersion)
+	}
+	if rec.Experiments == nil {
+		t.Fatal("experiments field absent (null) in partial record")
+	}
+}
+
+// TestRunWithCompletes is the happy-path counterpart: one quick experiment
+// runs to completion, the record is written, and it is not interrupted.
+func TestRunWithCompletes(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := runWith(context.Background(), options{only: "E5", quick: true, seed: 1, jsonDir: dir, runID: "ok"}, &out)
+	if err != nil {
+		t.Fatalf("runWith: %v", err)
+	}
+	f, ferr := os.Open(filepath.Join(dir, benchjson.Filename("ok")))
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	defer f.Close()
+	rec, derr := benchjson.Decode(f)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if rec.Interrupted || len(rec.Experiments) != 1 || rec.Experiments[0].ID != "E5" {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+	if !strings.Contains(out.String(), "E5") {
+		t.Fatal("rendered output missing the experiment table")
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
+	if len(reg) != 17 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	seen := map[string]bool{}

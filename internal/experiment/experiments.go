@@ -79,6 +79,9 @@ func Registry() []Experiment {
 		{"E12", "Extension: directed vs undirected layered hardness (§4.3 contrast)", E12},
 		{"E13", "Randomized broadcasting on directed networks (§2 generality)", E13},
 		{"E14", "Fidelity ablation: the paper's constants vs simulation constants", E14},
+		{"E15", "Fault extension: broadcast-time degradation under link loss", E15},
+		{"E16", "Fault extension: broadcast-time degradation under jamming", E16},
+		{"E17", "Fault extension: crash-tolerance of the DFS token vs Decay", E17},
 	}
 }
 

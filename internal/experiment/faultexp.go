@@ -1,0 +1,260 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"adhocradio/internal/core"
+	"adhocradio/internal/decay"
+	"adhocradio/internal/det"
+	"adhocradio/internal/experiment/pool"
+	"adhocradio/internal/fault"
+	"adhocradio/internal/graph"
+	"adhocradio/internal/radio"
+	"adhocradio/internal/rng"
+)
+
+// The fault experiments (E15-E17) measure how the paper's algorithms degrade
+// when the model's clean assumptions — reliable links, live nodes, no
+// external interference — are relaxed through internal/fault. Every fault
+// stream is derived from (cfg.Seed, point/trial index) via rng.NewStream, so
+// the tables obey the same bit-identical-under--parallel contract as E1-E14.
+
+// faultSummary aggregates one (protocol, fault level) measurement point.
+type faultSummary struct {
+	meanTime float64 // broadcast time, censored at the step budget
+	done     float64 // fraction of trials that completed
+	informed float64 // mean informed fraction at the end of the run
+}
+
+// faultTrials runs `trials` independent simulations of p under per-trial
+// fault plans and summarizes them. Trial i derives its topology stream from
+// (base, i), its protocol seed from base+1000+i, and its fault seed from
+// rng.NewStream(base, 5000+i) — a pure function of the indices, as
+// CONTRIBUTING.md requires. Runs that exhaust the budget are censored at it
+// (faulty runs may legitimately never complete).
+func faultTrials(ctx context.Context, cfg Config, trials int, base uint64, budget int,
+	build func(src *rng.Source) (*graph.Graph, error),
+	p func() radio.Protocol,
+	plan func(trial int, g *graph.Graph, fseed uint64) *fault.Plan) (faultSummary, error) {
+
+	type out struct {
+		time     int
+		done     bool
+		informed float64
+	}
+	results, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) (out, error) {
+		src := rng.NewStream(base, uint64(i))
+		g, err := build(src)
+		if err != nil {
+			return out{}, err
+		}
+		fseed := rng.NewStream(base, uint64(5000+i)).Uint64()
+		res, err := simulate(g, p(), radio.Config{Seed: base + uint64(1000+i)},
+			radio.Options{MaxSteps: budget, Fault: plan(i, g, fseed)})
+		if err != nil && !errors.Is(err, radio.ErrStepLimit) {
+			return out{}, err
+		}
+		o := out{time: budget, done: res.Completed}
+		if res.Completed {
+			o.time = res.BroadcastTime
+		}
+		informed := 0
+		for _, at := range res.InformedAt {
+			if at >= 0 {
+				informed++
+			}
+		}
+		o.informed = float64(informed) / float64(g.N())
+		return o, nil
+	})
+	if err != nil {
+		return faultSummary{}, err
+	}
+	var s faultSummary
+	for _, o := range results {
+		s.meanTime += float64(o.time)
+		if o.done {
+			s.done++
+		}
+		s.informed += o.informed
+	}
+	k := float64(len(results))
+	s.meanTime /= k
+	s.done /= k
+	s.informed /= k
+	return s, nil
+}
+
+// E15: broadcast-time degradation under per-step link loss. The randomized
+// KP algorithm retries probabilistically forever, so loss costs it a
+// graceful slowdown; Select-and-Send's Echo handshakes assume reliable
+// delivery and pay much more steeply.
+func E15(ctx context.Context, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Degradation under per-step link loss: KP vs Select-and-Send",
+		Columns: []string{"loss", "n", "t_KP", "done_KP", "t_SS", "done_SS"},
+		Notes: []string{
+			"fault extension: each directed arc independently drops each transmission with prob. `loss`",
+			"times are means censored at the step budget; done = fraction of trials completing",
+			"randomized retrying degrades smoothly; the deterministic Echo machinery is brittle",
+		},
+	}
+	n := 512
+	if cfg.Quick {
+		n = 128
+	}
+	budget := 100 * n
+	trials := cfg.trials(5)
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	err := runPoints(ctx, cfg, t, len(losses), func(ctx context.Context, i int) ([][]any, error) {
+		loss := losses[i]
+		base := cfg.Seed + 15000*uint64(i+1)
+		build := func(src *rng.Source) (*graph.Graph, error) {
+			return graph.GNPConnected(n, 4.0/float64(n), src), nil
+		}
+		plan := func(_ int, _ *graph.Graph, fseed uint64) *fault.Plan {
+			if loss == 0 {
+				return nil
+			}
+			return &fault.Plan{Seed: fseed, LinkLoss: loss}
+		}
+		kp, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return core.New() }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E15 kp loss=%.2f: %w", loss, err)
+		}
+		ss, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return det.SelectAndSend{} }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E15 ss loss=%.2f: %w", loss, err)
+		}
+		return [][]any{{loss, n, kp.meanTime, kp.done, ss.meanTime, ss.done}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E16: broadcast-time degradation under adversarial jamming — the Section 3
+// adversary made kinetic. n/16 noise devices sit at random nodes and each
+// transmits with probability `jam` per step, turning single receptions in
+// their shadow into collisions.
+func E16(ctx context.Context, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Degradation under random jammers: KP vs Select-and-Send",
+		Columns: []string{"jam", "n", "jammers", "t_KP", "done_KP", "t_SS", "done_SS"},
+		Notes: []string{
+			"fault extension: n/16 jammer devices at per-trial random hosts; noise reaches the host's out-neighbors",
+			"jam noise over a single legitimate transmission is a collision; over silence it is silence",
+			"times are means censored at the step budget; done = fraction of trials completing",
+		},
+	}
+	n := 512
+	if cfg.Quick {
+		n = 128
+	}
+	budget := 100 * n
+	trials := cfg.trials(5)
+	jams := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	numJam := n / 16
+	err := runPoints(ctx, cfg, t, len(jams), func(ctx context.Context, i int) ([][]any, error) {
+		jam := jams[i]
+		base := cfg.Seed + 16000*uint64(i+1)
+		build := func(src *rng.Source) (*graph.Graph, error) {
+			return graph.GNPConnected(n, 4.0/float64(n), src), nil
+		}
+		plan := func(trial int, g *graph.Graph, fseed uint64) *fault.Plan {
+			if jam == 0 {
+				return nil
+			}
+			// Sample distinct jammer hosts from [1, n) off a dedicated
+			// substream so the host set is a pure function of the indices.
+			jsrc := rng.NewStream(base, uint64(9000+trial))
+			taken := make([]bool, g.N())
+			hosts := make([]int, 0, numJam)
+			for len(hosts) < numJam {
+				v := 1 + jsrc.Intn(g.N()-1)
+				if !taken[v] {
+					taken[v] = true
+					hosts = append(hosts, v)
+				}
+			}
+			return &fault.Plan{Seed: fseed, Jammers: hosts, JamProb: jam}
+		}
+		kp, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return core.New() }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E16 kp jam=%.1f: %w", jam, err)
+		}
+		ss, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return det.SelectAndSend{} }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E16 ss jam=%.1f: %w", jam, err)
+		}
+		return [][]any{{jam, n, numJam, kp.meanTime, kp.done, ss.meanTime, ss.done}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E17: crash-tolerance of the DFS token vs Decay flooding. The linear-time
+// DFS broadcast of the neighbor-aware model carries its progress in a single
+// token: one crash of the holder kills the whole broadcast. Decay has no
+// distinguished state — every informed node keeps running the ladder — so
+// it routes around crashed nodes and keeps informing whoever is reachable.
+func E17(ctx context.Context, cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "Crash-tolerance: DFS token vs Decay flooding",
+		Columns: []string{"crash", "n", "inf_DFS", "done_DFS", "inf_Decay", "done_Decay"},
+		Notes: []string{
+			"fault extension: a `crash` fraction of nodes halts forever at a uniform step in [1, n]",
+			"inf_* = mean fraction of nodes informed when the run ends (crashed nodes count as uninformed)",
+			"the token is a single point of failure; the memoryless ladder degrades with the crashed fraction only",
+		},
+	}
+	n := 512
+	if cfg.Quick {
+		n = 128
+	}
+	budget := 100 * n
+	trials := cfg.trials(5)
+	crashes := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	err := runPoints(ctx, cfg, t, len(crashes), func(ctx context.Context, i int) ([][]any, error) {
+		crash := crashes[i]
+		base := cfg.Seed + 17000*uint64(i+1)
+		build := func(src *rng.Source) (*graph.Graph, error) {
+			// Enough redundancy that crashed nodes rarely disconnect the
+			// survivors: what stalls must be the algorithm, not the topology.
+			return graph.GNPConnected(n, 6.0/float64(n), src), nil
+		}
+		plan := func(_ int, _ *graph.Graph, fseed uint64) *fault.Plan {
+			if crash == 0 {
+				return nil
+			}
+			return &fault.Plan{Seed: fseed, CrashFrac: crash, CrashWindow: n}
+		}
+		dfs, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return det.DFSNeighborhood{} }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E17 dfs crash=%.2f: %w", crash, err)
+		}
+		dec, err := faultTrials(ctx, cfg, trials, base, budget, build,
+			func() radio.Protocol { return decay.New() }, plan)
+		if err != nil {
+			return nil, fmt.Errorf("E17 decay crash=%.2f: %w", crash, err)
+		}
+		return [][]any{{crash, n, dfs.informed, dfs.done, dec.informed, dec.done}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -46,8 +46,10 @@ func TestParallelBitIdentical(t *testing.T) {
 	// Under -short keep a representative subset so the race-detector run
 	// stays fast: E2 (pooled trials via meanTime), E5 (multi-row points),
 	// E7 (sequential graph prologue + parallel measurements), E9 (shared
-	// read-only graph), E12 (adversary construction in workers).
-	ids := map[string]bool{"E2": true, "E5": true, "E7": true, "E9": true, "E12": true}
+	// read-only graph), E12 (adversary construction in workers), E15
+	// (fault-injected trials: the fault streams must be worker-independent
+	// too).
+	ids := map[string]bool{"E2": true, "E5": true, "E7": true, "E9": true, "E12": true, "E15": true}
 	if !testing.Short() {
 		ids = nil // every experiment
 	}

@@ -28,6 +28,9 @@ func ShapeChecks() map[string]ShapeCheck {
 		"E12": checkE12,
 		"E13": checkE13,
 		"E14": checkE14,
+		"E15": checkE15,
+		"E16": checkE16,
+		"E17": checkE17,
 	}
 }
 
@@ -396,6 +399,89 @@ func checkE14(t *Table) error {
 		if ratio < 0.65 || ratio > 1.35 {
 			return fmt.Errorf("E14 row %d: paper-constants time %.0f not BGI-like (%.0f)", i, paper[i], bgi[i])
 		}
+	}
+	return nil
+}
+
+// checkE15: the fault sweep separates graceful from brittle. The randomized
+// KP algorithm completes at every loss level (mild loss can even speed it
+// up — dropped arcs thin out collisions, acting like extra Decay), while
+// Select-and-Send's Echo handshake pays at least double at the heaviest
+// level (in practice it is censored at the budget).
+func checkE15(t *Table) error {
+	return checkFaultBrittleness(t, "t_KP", "done_KP", "t_SS", "done_SS")
+}
+
+// checkE16: same graceful-vs-brittle shape for the jamming sweep.
+func checkE16(t *Table) error {
+	return checkFaultBrittleness(t, "t_KP", "done_KP", "t_SS", "done_SS")
+}
+
+// checkFaultBrittleness: the first row is the fault-free baseline (both
+// algorithms complete every trial); the graceful algorithm (A) completes on
+// every row, and at the heaviest fault level the brittle one (B) is at
+// least twice as slow as A.
+func checkFaultBrittleness(t *Table, tA, doneA, tB, doneB string) error {
+	for _, done := range []string{doneA, doneB} {
+		v, err := cell(t, 0, done)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("%s: %s = %.2f on the fault-free baseline, want 1", t.ID, done, v)
+		}
+	}
+	dA, err := column(t, doneA)
+	if err != nil {
+		return err
+	}
+	for i, v := range dA {
+		if v != 1 {
+			return fmt.Errorf("%s: %s = %.2f at row %d, want completion at every fault level", t.ID, doneA, v, i)
+		}
+	}
+	last := len(t.Rows) - 1
+	a, err := cell(t, last, tA)
+	if err != nil {
+		return err
+	}
+	b, err := cell(t, last, tB)
+	if err != nil {
+		return err
+	}
+	if b < 2*a {
+		return fmt.Errorf("%s: %s (%.0f) not clearly brittler than %s (%.0f) at max fault", t.ID, tB, b, tA, a)
+	}
+	return nil
+}
+
+// checkE17: without crashes both algorithms inform everyone; at the heaviest
+// crash rate the single-token DFS has lost nodes the memoryless Decay ladder
+// still reaches.
+func checkE17(t *Table) error {
+	for _, col := range []string{"inf_DFS", "inf_Decay"} {
+		v, err := cell(t, 0, col)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("E17: %s = %.3f at zero crash rate, want 1", col, v)
+		}
+	}
+	last := len(t.Rows) - 1
+	dfs, err := cell(t, last, "inf_DFS")
+	if err != nil {
+		return err
+	}
+	dec, err := cell(t, last, "inf_Decay")
+	if err != nil {
+		return err
+	}
+	if dfs >= 1 {
+		return fmt.Errorf("E17: DFS token survived the max crash rate (inf_DFS = %.3f)", dfs)
+	}
+	if dec <= dfs {
+		return fmt.Errorf("E17: Decay (%.3f) not more crash-tolerant than the DFS token (%.3f)", dec, dfs)
 	}
 	return nil
 }

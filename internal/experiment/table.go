@@ -1,4 +1,4 @@
-// Package experiment defines the reproduction experiments E1–E14 of
+// Package experiment defines the reproduction experiments E1–E17 of
 // DESIGN.md: each regenerates one theorem/figure of the paper as a table of
 // measurements next to the model curve it is checked against.
 package experiment

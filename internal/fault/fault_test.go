@@ -1,0 +1,315 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActive(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want bool
+	}{
+		{"nil", nil, false},
+		{"zero", &Plan{}, false},
+		{"seed-only", &Plan{Seed: 7}, false},
+		{"loss", &Plan{LinkLoss: 0.1}, true},
+		{"churn", &Plan{ChurnProb: 0.1, ChurnWindow: 4}, true},
+		{"jam", &Plan{Jammers: []int{1}, JamProb: 0.5}, true},
+		{"jam-no-prob", &Plan{Jammers: []int{1}}, false},
+		{"prob-no-jammers", &Plan{JamProb: 0.5}, false},
+		{"crash", &Plan{CrashFrac: 0.1, CrashWindow: 10}, true},
+		{"sleep", &Plan{SleepFrac: 0.1, SleepPeriod: 4, SleepAwake: 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.plan.Active(); got != c.want {
+			t.Errorf("%s: Active() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		wantErr string
+	}{
+		{"zero", Plan{}, ""},
+		{"full", Plan{
+			LinkLoss: 0.2, ChurnProb: 0.1, ChurnWindow: 8,
+			Jammers: []int{0, 3}, JamProb: 0.5,
+			CrashFrac: 0.1, CrashWindow: 100,
+			SleepFrac: 0.3, SleepPeriod: 10, SleepAwake: 7,
+		}, ""},
+		{"loss-negative", Plan{LinkLoss: -0.1}, "LinkLoss"},
+		{"loss-above-one", Plan{LinkLoss: 1.5}, "LinkLoss"},
+		{"churn-no-window", Plan{ChurnProb: 0.2}, "ChurnWindow"},
+		{"crash-no-window", Plan{CrashFrac: 0.2}, "CrashWindow"},
+		{"sleep-no-period", Plan{SleepFrac: 0.2}, "SleepAwake"},
+		{"sleep-awake-too-big", Plan{SleepFrac: 0.2, SleepPeriod: 4, SleepAwake: 4}, "SleepAwake"},
+		{"jammer-out-of-range", Plan{Jammers: []int{8}}, "outside"},
+		{"jammer-negative", Plan{Jammers: []int{-1}}, "outside"},
+		{"jammer-duplicate", Plan{Jammers: []int{2, 2}}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(8)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestResetRejectsInvalid pins that State.Reset surfaces validation errors.
+func TestResetRejectsInvalid(t *testing.T) {
+	s := NewState()
+	if err := s.Reset(&Plan{Jammers: []int{99}}, 8); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+// TestDecisionsDeterministicAndOrderFree is the property the differential
+// gate rests on: every decision is a pure function of (seed, step, id),
+// identical across State instances and independent of query order.
+func TestDecisionsDeterministicAndOrderFree(t *testing.T) {
+	plan := &Plan{
+		Seed:     42,
+		LinkLoss: 0.3, ChurnProb: 0.2, ChurnWindow: 5,
+		Jammers: []int{1, 4}, JamProb: 0.4,
+		CrashFrac: 0.3, CrashWindow: 50,
+		SleepFrac: 0.3, SleepPeriod: 6, SleepAwake: 3,
+	}
+	const n, steps = 12, 40
+	a, b := NewState(), NewState()
+	if err := a.Reset(plan, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(plan, n); err != nil {
+		t.Fatal(err)
+	}
+	// a queried forward, b queried backward: answers must agree pointwise.
+	type key struct{ t, u, v int }
+	got := map[key]bool{}
+	for step := 1; step <= steps; step++ {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got[key{step, u, v}] = a.LinkDown(step, u, v)
+			}
+		}
+	}
+	for step := steps; step >= 1; step-- {
+		for u := n - 1; u >= 0; u-- {
+			if a.NodeDown(step, u) != b.NodeDown(step, u) {
+				t.Fatalf("NodeDown(%d, %d) differs across states", step, u)
+			}
+			if a.JamAt(step, u) != b.JamAt(step, u) {
+				t.Fatalf("JamAt(%d, %d) differs across states", step, u)
+			}
+			for v := n - 1; v >= 0; v-- {
+				if b.LinkDown(step, u, v) != got[key{step, u, v}] {
+					t.Fatalf("LinkDown(%d, %d, %d) depends on query order", step, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestResetReplaysSchedules: recompiling the same plan (even after the state
+// served a different one) reproduces the same crash/sleep schedules.
+func TestResetReplaysSchedules(t *testing.T) {
+	plan := &Plan{Seed: 9, CrashFrac: 0.5, CrashWindow: 20, SleepFrac: 0.5, SleepPeriod: 8, SleepAwake: 4}
+	other := &Plan{Seed: 77, CrashFrac: 0.9, CrashWindow: 3}
+	const n = 32
+	s := NewState()
+	if err := s.Reset(plan, n); err != nil {
+		t.Fatal(err)
+	}
+	first := make([]bool, 0, n*10)
+	for step := 1; step <= 10; step++ {
+		for v := 0; v < n; v++ {
+			first = append(first, s.NodeDown(step, v))
+		}
+	}
+	if err := s.Reset(other, n/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(plan, n); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for step := 1; step <= 10; step++ {
+		for v := 0; v < n; v++ {
+			if s.NodeDown(step, v) != first[i] {
+				t.Fatalf("NodeDown(%d, %d) changed after Reset round-trip", step, v)
+			}
+			i++
+		}
+	}
+}
+
+// TestSourceExempt: node 0 is never down, whatever the crash/sleep rates.
+func TestSourceExempt(t *testing.T) {
+	s := NewState()
+	plan := &Plan{Seed: 3, CrashFrac: 1, CrashWindow: 1, SleepFrac: 1, SleepPeriod: 2, SleepAwake: 1}
+	if err := s.Reset(plan, 16); err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 50; step++ {
+		if s.NodeDown(step, 0) {
+			t.Fatalf("source down at step %d", step)
+		}
+	}
+	// ... and with those rates every other node is dead from step 1 on
+	// (CrashWindow 1 crashes them all at step 1).
+	for v := 1; v < 16; v++ {
+		if !s.NodeDown(1, v) || !s.Crashed(1, v) {
+			t.Fatalf("node %d survived CrashFrac=1, CrashWindow=1", v)
+		}
+	}
+}
+
+// TestCrashIsPermanentSleepIsNot pins the two down-time semantics.
+func TestCrashIsPermanentSleepIsNot(t *testing.T) {
+	s := NewState()
+	if err := s.Reset(&Plan{Seed: 5, CrashFrac: 1, CrashWindow: 10}, 8); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 8; v++ {
+		// Find the crash step; from there on the node must stay down.
+		crashed := -1
+		for step := 1; step <= 20; step++ {
+			if s.NodeDown(step, v) {
+				crashed = step
+				break
+			}
+		}
+		if crashed == -1 || crashed > 10 {
+			t.Fatalf("node %d crash step %d outside [1, 10]", v, crashed)
+		}
+		for step := crashed; step <= crashed+20; step++ {
+			if !s.NodeDown(step, v) {
+				t.Fatalf("node %d rose from the dead at step %d", v, step)
+			}
+		}
+	}
+
+	if err := s.Reset(&Plan{Seed: 5, SleepFrac: 1, SleepPeriod: 4, SleepAwake: 2}, 8); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 8; v++ {
+		downs, ups := 0, 0
+		for step := 1; step <= 40; step++ {
+			if s.NodeDown(step, v) {
+				downs++
+			} else {
+				ups++
+			}
+			if s.Crashed(step, v) {
+				t.Fatalf("sleeper %d reported crashed", v)
+			}
+		}
+		// Awake 2 of every 4 steps: exactly half over 10 full periods.
+		if downs != 20 || ups != 20 {
+			t.Fatalf("node %d duty cycle: %d down / %d up, want 20/20", v, downs, ups)
+		}
+	}
+}
+
+// TestChurnIsWindowed: within one window the link state is constant; across
+// many windows both states occur.
+func TestChurnIsWindowed(t *testing.T) {
+	s := NewState()
+	const window = 7
+	if err := s.Reset(&Plan{Seed: 11, ChurnProb: 0.5, ChurnWindow: window}, 4); err != nil {
+		t.Fatal(err)
+	}
+	sawDown, sawUp := false, false
+	for w := 0; w < 40; w++ {
+		first := s.LinkDown(w*window, 1, 2)
+		for off := 1; off < window; off++ {
+			if s.LinkDown(w*window+off, 1, 2) != first {
+				t.Fatalf("window %d: link state flipped mid-window", w)
+			}
+		}
+		if first {
+			sawDown = true
+		} else {
+			sawUp = true
+		}
+		// Churn is symmetric on the pair.
+		if s.LinkDown(w*window, 2, 1) != first {
+			t.Fatalf("window %d: churn not symmetric", w)
+		}
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("churn at p=0.5 never changed state over 40 windows (down=%v up=%v)", sawDown, sawUp)
+	}
+}
+
+// TestRatesLandNearProbabilities sanity-checks the keyed mixing function:
+// empirical frequencies over many draws sit near the configured rates.
+func TestRatesLandNearProbabilities(t *testing.T) {
+	s := NewState()
+	plan := &Plan{Seed: 123, LinkLoss: 0.25, Jammers: []int{1}, JamProb: 0.4}
+	if err := s.Reset(plan, 4); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	loss, jam := 0, 0
+	for step := 1; step <= trials; step++ {
+		if s.LinkDown(step, 0, 2) {
+			loss++
+		}
+		if s.JamAt(step, 1) {
+			jam++
+		}
+		if s.JamAt(step, 2) {
+			t.Fatal("non-jammer node emitted noise")
+		}
+	}
+	if f := float64(loss) / trials; f < 0.23 || f > 0.27 {
+		t.Errorf("loss frequency %.3f far from 0.25", f)
+	}
+	if f := float64(jam) / trials; f < 0.38 || f > 0.42 {
+		t.Errorf("jam frequency %.3f far from 0.4", f)
+	}
+}
+
+// TestSeedIndependence: different plan seeds give different patterns, and
+// the models are keyed independently (changing the jammer list does not
+// perturb the loss pattern).
+func TestSeedIndependence(t *testing.T) {
+	a, b := NewState(), NewState()
+	if err := a.Reset(&Plan{Seed: 1, LinkLoss: 0.5}, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(&Plan{Seed: 2, LinkLoss: 0.5}, 8); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	const steps = 2000
+	for step := 1; step <= steps; step++ {
+		if a.LinkDown(step, 0, 1) == b.LinkDown(step, 0, 1) {
+			same++
+		}
+	}
+	if same == steps {
+		t.Fatal("seeds 1 and 2 produced identical loss patterns")
+	}
+
+	c := NewState()
+	if err := c.Reset(&Plan{Seed: 1, LinkLoss: 0.5, Jammers: []int{3}, JamProb: 0.9}, 8); err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= steps; step++ {
+		if a.LinkDown(step, 0, 1) != c.LinkDown(step, 0, 1) {
+			t.Fatalf("adding a jammer changed the loss pattern at step %d", step)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
 )
 
@@ -38,6 +39,14 @@ type Runner struct {
 	transmitted []bool  // half-duplex: transmitted in the current step
 	dirty       []int32 // nodes hit this step (sparse path only)
 	programs    []NodeProgram
+
+	// Fault-injection scratch, used only when a run carries an active
+	// fault.Plan: jammed marks nodes in a noisy jammer's shadow this step
+	// (cleared via jamDirty on the way out), and faults is the compiled
+	// per-run fault state, reused across runs via Reset.
+	jammed   []bool
+	jamDirty []int32
+	faults   *fault.State
 
 	// Step buffers, pre-sized to the node count (a step can have at most n
 	// transmitters and n receptions) so first steps never grow-copy.
@@ -90,12 +99,39 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 	if cfg.N != n {
 		return fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
 	}
+	if opt.MaxSteps < 0 {
+		return fmt.Errorf("radio: negative MaxSteps %d", opt.MaxSteps)
+	}
 	maxSteps := opt.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps(n)
 	}
+	// Compile the fault plan (validating it) before res is touched, so
+	// validation errors leave the caller's Result intact.
+	var fs *fault.State
+	if opt.Fault != nil {
+		if err := opt.Fault.Validate(n); err != nil {
+			return err
+		}
+		if opt.Fault.Active() {
+			if r.faults == nil {
+				r.faults = fault.NewState()
+			}
+			if err := r.faults.Reset(opt.Fault, n); err != nil {
+				return err
+			}
+			fs = r.faults
+		}
+	}
 	csr := g.Compile()
 	r.ensure(n, opt)
+	if fs != nil {
+		if cap(r.jammed) < n {
+			r.jammed = make([]bool, n)
+			r.jamDirty = make([]int32, 0, n)
+		}
+		r.jammed = r.jammed[:n]
+	}
 
 	informed := res.InformedAt
 	if cap(informed) < n {
@@ -144,12 +180,16 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 		// Phase 1: collect transmitters among active nodes, tracking the
 		// total out-degree (to pick the tally strategy) and whether any
 		// payload is non-nil (nil payloads skip the boxing-sensitive
-		// SourceCarrier probing on every delivery).
+		// SourceCarrier probing on every delivery). Nodes a fault plan has
+		// down (crashed or asleep) are not consulted at all.
 		r.transmitters = r.transmitters[:0]
 		r.payloads = r.payloads[:0]
 		allNil := true
 		arcs := 0
 		for _, v := range r.active {
+			if fs != nil && fs.NodeDown(t, v) {
+				continue
+			}
 			tx, payload := r.programs[v].Act(t)
 			if tx {
 				r.transmitters = append(r.transmitters, v)
@@ -164,10 +204,14 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 		res.Transmissions += int64(len(r.transmitters))
 
 		// Phases 2+3: tally receptions over the flat CSR arrays, then
-		// deliver. hits is restored to all-zero on the way out.
+		// deliver. hits is restored to all-zero on the way out. Faulty runs
+		// take their own tally (per-arc loss checks and jam marks); the two
+		// fault-free paths below stay branch-free.
 		r.receptions = r.receptions[:0]
 		hits, lastFrom := r.hits, r.lastFrom
-		if arcs >= n {
+		if fs != nil {
+			r.tallyFaulty(t, n, outOff, outAdj, fs, allNil)
+		} else if arcs >= n {
 			// Dense path: branch-free saturating-by-construction counters
 			// (a step has at most n-1 in-transmitters per node), then a
 			// full sweep.
@@ -186,7 +230,7 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 				if r.transmitted[v] {
 					continue // half-duplex: transmitters hear nothing
 				}
-				r.deliver(t, v, h, allNil)
+				r.deliver(t, v, h, false, allNil)
 			}
 		} else {
 			// Sparse path: track first-touch nodes so the sweep visits only
@@ -209,7 +253,7 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 				if r.transmitted[v] {
 					continue // half-duplex: transmitters hear nothing
 				}
-				r.deliver(t, v, h, allNil)
+				r.deliver(t, v, h, false, allNil)
 			}
 		}
 		for _, u := range r.transmitters {
@@ -234,12 +278,65 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 	return nil
 }
 
+// tallyFaulty is the fault-aware tally: sparse-style first-touch tracking
+// with a per-arc LinkDown check, jam-noise marks from the plan's jammers,
+// and a NodeDown gate on every receiver. Semantics (mirrored exactly by
+// RunReferenceWithFaults): a down node hears nothing and counts nothing; a
+// dropped arc contributes no hit; jam noise turns a single legitimate hit
+// into a collision but is itself indistinguishable from silence, so noise
+// with zero legitimate hits produces no event at all.
+func (r *Runner) tallyFaulty(t, n int, outOff, outAdj []int32, fs *fault.State, allNil bool) {
+	hits, lastFrom := r.hits, r.lastFrom
+	dirty := r.dirty[:0]
+	for i, u := range r.transmitters {
+		for _, v32 := range outAdj[outOff[u]:outOff[u+1]] {
+			v := int(v32)
+			if fs.LinkDown(t, u, v) {
+				continue
+			}
+			if hits[v] == 0 {
+				dirty = append(dirty, v32)
+				lastFrom[v] = int32(i)
+			}
+			hits[v]++
+		}
+	}
+	r.dirty = dirty
+	jamDirty := r.jamDirty[:0]
+	for _, j := range fs.JammerNodes() {
+		if !fs.JamAt(t, int(j)) {
+			continue
+		}
+		for _, v := range outAdj[outOff[j]:outOff[j+1]] {
+			if !r.jammed[v] {
+				r.jammed[v] = true
+				jamDirty = append(jamDirty, v)
+			}
+		}
+	}
+	r.jamDirty = jamDirty
+	for _, v32 := range dirty {
+		v := int(v32)
+		h := hits[v]
+		hits[v] = 0
+		if r.transmitted[v] || fs.NodeDown(t, v) {
+			continue // half-duplex, or the receiver is down
+		}
+		r.deliver(t, v, h, r.jammed[v], allNil)
+	}
+	for _, v := range jamDirty {
+		r.jammed[v] = false
+	}
+}
+
 // deliver serves one non-transmitting node that was hit h times in step t:
-// exactly one hit is a reception, two or more a collision. allNil short-
-// circuits payload handling when no transmitter attached one this step.
-func (r *Runner) deliver(t, v int, h int32, allNil bool) {
+// exactly one hit is a reception, two or more a collision. A jammed
+// receiver's single hit is destroyed by the noise and becomes a collision.
+// allNil short-circuits payload handling when no transmitter attached one
+// this step.
+func (r *Runner) deliver(t, v int, h int32, jammed, allNil bool) {
 	switch {
-	case h == 1:
+	case h == 1 && !jammed:
 		i := r.lastFrom[v]
 		var payload any
 		if !allNil {
@@ -270,7 +367,7 @@ func (r *Runner) deliver(t, v int, h int32, allNil bool) {
 		if r.opt.Trace != nil {
 			r.receptions = append(r.receptions, msg)
 		}
-	case h >= 2:
+	case h >= 2 || jammed:
 		r.res.Collisions++
 		if r.opt.CollisionDetection && r.res.InformedAt[v] != -1 {
 			if cl, ok := r.programs[v].(CollisionListener); ok {
@@ -297,6 +394,7 @@ func (r *Runner) ensure(n int, opt Options) {
 		// between-steps all-zero invariant on hits/transmitted may not
 		// hold, so rebuild rather than trust it.
 		r.hits, r.lastFrom, r.transmitted, r.dirty = nil, nil, nil, nil
+		r.jammed, r.jamDirty = nil, nil
 	}
 	r.running = true
 	if cap(r.hits) < n {
@@ -348,6 +446,7 @@ func (r *Runner) finish() {
 	r.active = r.active[:0]
 	r.transmitters = r.transmitters[:0]
 	r.dirty = r.dirty[:0]
+	r.jamDirty = r.jamDirty[:0]
 	r.res, r.g, r.p, r.na = nil, nil, nil, nil
 	r.cfg, r.opt = Config{}, Options{}
 	r.informedCount = 0

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/rng"
 )
@@ -64,21 +65,56 @@ func fuzzGraph(gseed uint64, kind uint8, n int) *graph.Graph {
 	}
 }
 
+// fuzzPlan derives a fault plan from three fuzz bytes. All-zero bytes mean
+// no plan at all (the fault-free hot path); otherwise lossB packs link loss
+// and churn, crashB packs crash and sleep fractions, jamB packs the jam
+// probability and a jammer host.
+func fuzzPlan(pseed uint64, n int, lossB, crashB, jamB uint8) *fault.Plan {
+	if lossB == 0 && crashB == 0 && jamB == 0 {
+		return nil
+	}
+	plan := &fault.Plan{
+		Seed:      pseed ^ 0x9e3779b97f4a7c15,
+		LinkLoss:  float64(lossB&0x3f) / 100, // [0, 0.63]
+		ChurnProb: float64(lossB>>6) / 4,     // {0, 0.25, 0.5, 0.75}
+		CrashFrac: float64(crashB&0x0f) / 32, // [0, ~0.47]
+		SleepFrac: float64(crashB>>4) / 20,   // [0, 0.75]
+		JamProb:   float64(jamB&0x0f) / 16,   // [0, ~0.94]
+	}
+	if plan.ChurnProb > 0 {
+		plan.ChurnWindow = 16
+	}
+	if plan.CrashFrac > 0 {
+		plan.CrashWindow = 1 + n
+	}
+	if plan.SleepFrac > 0 {
+		plan.SleepPeriod, plan.SleepAwake = 8, 5
+	}
+	if plan.JamProb > 0 {
+		plan.Jammers = []int{int(jamB>>4) % n}
+	}
+	return plan
+}
+
 // FuzzRunVsReference is the differential fuzzer the hot loop is gated on:
-// for random connected graphs, seeds, and protocols (randomized coin,
-// deterministic flood, SourceCarrier-mixing mixed), the optimized CSR
-// engine and the naive oracle must agree on every observable Result field —
-// including runs that hit the step budget.
+// for random connected graphs, seeds, protocols (randomized coin,
+// deterministic flood, SourceCarrier-mixing mixed), and fault plans derived
+// from three extra bytes, the optimized CSR engine and the naive oracle must
+// agree on every observable Result field — including runs that hit the step
+// budget.
 func FuzzRunVsReference(f *testing.F) {
-	f.Add(uint64(1), uint64(7), uint8(0), uint8(20), uint8(0))
-	f.Add(uint64(2), uint64(9), uint8(1), uint8(40), uint8(1))
-	f.Add(uint64(3), uint64(11), uint8(2), uint8(33), uint8(2))
-	f.Add(uint64(4), uint64(13), uint8(3), uint8(48), uint8(0))
-	f.Add(uint64(5), uint64(15), uint8(4), uint8(64), uint8(2))
-	f.Add(uint64(6), uint64(17), uint8(0), uint8(2), uint8(1))
-	f.Fuzz(func(t *testing.T, gseed, pseed uint64, kind, size, proto uint8) {
+	f.Add(uint64(1), uint64(7), uint8(0), uint8(20), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(2), uint64(9), uint8(1), uint8(40), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(3), uint64(11), uint8(2), uint8(33), uint8(2), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(4), uint64(13), uint8(3), uint8(48), uint8(0), uint8(12), uint8(0), uint8(0))
+	f.Add(uint64(5), uint64(15), uint8(4), uint8(64), uint8(2), uint8(0x80), uint8(0), uint8(0))
+	f.Add(uint64(6), uint64(17), uint8(0), uint8(2), uint8(1), uint8(0), uint8(0x35), uint8(0))
+	f.Add(uint64(7), uint64(19), uint8(1), uint8(25), uint8(2), uint8(0), uint8(0), uint8(0x78))
+	f.Add(uint64(8), uint64(21), uint8(4), uint8(50), uint8(0), uint8(0x4a), uint8(0x23), uint8(0xe7))
+	f.Fuzz(func(t *testing.T, gseed, pseed uint64, kind, size, proto, lossB, crashB, jamB uint8) {
 		n := 2 + int(size)%79 // [2, 80]
 		g := fuzzGraph(gseed, kind, n)
+		plan := fuzzPlan(pseed, n, lossB, crashB, jamB)
 		var p Protocol
 		switch proto % 3 {
 		case 0:
@@ -93,8 +129,8 @@ func FuzzRunVsReference(f *testing.F) {
 		// partial result and on hitting the limit at all.
 		const budget = 4096
 		cfg := Config{Seed: pseed}
-		fast, fastErr := Run(g, p, cfg, Options{MaxSteps: budget})
-		ref, refErr := RunReference(g, p, cfg, budget)
+		fast, fastErr := Run(g, p, cfg, Options{MaxSteps: budget, Fault: plan})
+		ref, refErr := RunReferenceWithFaults(g, p, cfg, budget, plan)
 		if (fastErr == nil) != (refErr == nil) {
 			t.Fatalf("error mismatch: fast=%v ref=%v", fastErr, refErr)
 		}

@@ -23,6 +23,7 @@ package radio
 import (
 	"errors"
 
+	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
 )
 
@@ -142,6 +143,7 @@ type NeighborAwareProtocol interface {
 // Options control a simulation run.
 type Options struct {
 	// MaxSteps bounds the run; 0 selects a generous default based on n.
+	// Negative values are a validation error.
 	MaxSteps int
 	// RunToMaxSteps, when true, keeps simulating after every node is
 	// informed (some protocols have post-completion behaviour worth
@@ -150,6 +152,13 @@ type Options struct {
 	// CollisionDetection enables the model variant where listeners that
 	// implement CollisionListener are told about collisions.
 	CollisionDetection bool
+	// Fault attaches a deterministic fault-injection plan (link loss,
+	// topology churn, jammers, crash and sleep-wake schedules — see
+	// internal/fault). Nil or inactive plans leave the fault-free hot path
+	// untouched. Every fault model is implemented identically in the naive
+	// RunReference oracle (RunReferenceWithFaults), so the differential
+	// battery gates the faulty paths too.
+	Fault *fault.Plan
 	// Trace, if non-nil, receives one event per step. Keep it cheap.
 	Trace TraceFunc
 }

@@ -3,7 +3,16 @@ package radio
 import (
 	"errors"
 	"fmt"
+
+	"adhocradio/internal/fault"
 )
+
+// ReferenceGraph is the minimal topology view the naive oracle needs.
+type ReferenceGraph interface {
+	N() int
+	Out(v int) []int
+	In(v int) []int
+}
 
 // RunReference is a deliberately naive implementation of the same model as
 // Run: per step it scans every node and every arc, with no incremental
@@ -14,11 +23,25 @@ import (
 // It supports the core model only (no collision-detection variant). The
 // protocol must be replayable (same cfg.Seed ⇒ same behaviour) for the
 // comparison to be meaningful.
-func RunReference(g interface {
-	N() int
-	Out(v int) []int
-	In(v int) []int
-}, p Protocol, cfg Config, maxSteps int) (*Result, error) {
+func RunReference(g ReferenceGraph, p Protocol, cfg Config, maxSteps int) (*Result, error) {
+	return RunReferenceWithFaults(g, p, cfg, maxSteps, nil)
+}
+
+// RunReferenceWithFaults is RunReference under a fault plan. Every fault
+// model of internal/fault is implemented here, independently of the
+// optimized engine, from the same order-free decision functions — that is
+// what lets the differential battery and FuzzRunVsReference gate the faulty
+// paths: both simulators must agree bit for bit on every Result field.
+//
+// Semantics, spelled out once (the engine mirrors them):
+//   - a down node (crashed or asleep) is not asked to Act and hears
+//     nothing — no reception, no collision is accounted to it;
+//   - an arc whose LinkDown decision fires carries no transmission;
+//   - jam noise from a device hosted at u reaches every out-neighbor of u,
+//     ignoring link faults; a jammed listener with exactly one surviving
+//     legitimate hit suffers a collision instead of a reception, while jam
+//     noise over silence is just more silence.
+func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps int, plan *fault.Plan) (*Result, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, errors.New("radio: empty graph")
@@ -26,8 +49,26 @@ func RunReference(g interface {
 	if cfg.N == 0 {
 		cfg.N = n
 	}
+	if cfg.N != n {
+		return nil, fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
+	}
+	if maxSteps < 0 {
+		return nil, fmt.Errorf("radio: negative MaxSteps %d", maxSteps)
+	}
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps(n)
+	}
+	var st *fault.State
+	if plan != nil {
+		if err := plan.Validate(n); err != nil {
+			return nil, err
+		}
+		if plan.Active() {
+			st = fault.NewState()
+			if err := st.Reset(plan, n); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	newProgram := func(v int) NodeProgram {
@@ -71,10 +112,13 @@ func RunReference(g interface {
 		}
 		res.StepsSimulated = t
 
-		// Who transmits.
+		// Who transmits. Nodes the fault plan has down are not consulted.
 		tx := make(map[int]any, 4)
 		for v := 0; v < n; v++ {
 			if programs[v] == nil {
+				continue
+			}
+			if st != nil && st.NodeDown(t, v) {
 				continue
 			}
 			if ok, payload := programs[v].Act(t); ok {
@@ -88,15 +132,22 @@ func RunReference(g interface {
 			if _, transmitting := tx[v]; transmitting {
 				continue
 			}
+			if st != nil && st.NodeDown(t, v) {
+				continue // a down node hears nothing
+			}
 			from, count := -1, 0
+			jammed := false
 			for _, u := range g.In(v) {
-				if _, ok := tx[u]; ok {
+				if _, ok := tx[u]; ok && (st == nil || !st.LinkDown(t, u, v)) {
 					from = u
 					count++
 				}
+				if st != nil && st.JamAt(t, u) {
+					jammed = true
+				}
 			}
 			switch {
-			case count == 1:
+			case count == 1 && !jammed:
 				payload := tx[from]
 				if res.InformedAt[v] == -1 {
 					carrier := true
@@ -115,7 +166,7 @@ func RunReference(g interface {
 				}
 				programs[v].Deliver(t, Message{From: from, Payload: payload})
 				res.Receptions++
-			case count > 1:
+			case count >= 2 || (count == 1 && jammed):
 				res.Collisions++
 			}
 		}
