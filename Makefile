@@ -6,8 +6,10 @@ GO ?= go
 # Packages with concurrency-bearing code or parallel test harnesses; they
 # run under the race detector on every check. The root package carries the
 # soak tests, which -short skips; `make race-full` runs them raced too.
+# internal/analysis is here for its parallel per-package scheduler and the
+# shared cross-package fact store.
 RACE_PKGS := ./internal/radio/... ./internal/experiment/... ./internal/graph/... \
-	./internal/fault/... .
+	./internal/fault/... ./internal/analysis/... .
 
 # Where `make bench-smoke` writes its BENCH_*.json record; CI uploads the
 # same directory as a build artifact.
@@ -21,8 +23,8 @@ BENCH_DIR ?= bench-out
 BENCH_BASELINE ?= bench/simcore-baseline.txt
 BENCH_COUNT ?= 5
 
-.PHONY: check build test vet radiolint race race-full fmt-check bench-smoke \
-	bench-compare bench-save fuzz-smoke
+.PHONY: check build test vet radiolint lint-baseline race race-full fmt-check \
+	bench-smoke bench-compare bench-save fuzz-smoke
 
 check: build vet fmt-check radiolint test race
 
@@ -37,6 +39,12 @@ vet:
 
 radiolint:
 	$(GO) run ./cmd/radiolint ./...
+
+# Regenerate the known-findings ledger (lint/baseline.json) from the
+# current tree. Never edit the file by hand; run this, eyeball the diff,
+# and justify any growth in review like you would a //radiolint:ignore.
+lint-baseline:
+	$(GO) run ./cmd/radiolint -write-baseline ./...
 
 race:
 	$(GO) test -race -short $(RACE_PKGS)
@@ -66,9 +74,12 @@ bench-save:
 # A short differential-fuzzing pass over the optimized engine vs the naive
 # reference, including fault-injected inputs. The committed corpus under
 # internal/radio/testdata/fuzz/ always replays as part of `make test`; this
-# target additionally mutates for a few seconds to probe fresh inputs.
+# target additionally mutates for a few seconds to probe fresh inputs. The
+# second run mutates radiolint's suppression parser, which faces arbitrary
+# source text and must never mis-anchor a suppression or crash.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRunVsReference -fuzztime=10s ./internal/radio
+	$(GO) test -run=NONE -fuzz=FuzzParseSuppressions -fuzztime=10s ./internal/analysis
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -2,10 +2,14 @@
 // module, type-checks every non-test package, and runs the determinism and
 // simulator-contract passes from internal/analysis:
 //
-//	norandtime   no math/rand or wall clock in internal packages
-//	detmaprange  no order-dependent map iteration in determinism-critical packages
-//	seedplumb    no hidden seed forks or package-level rng state
-//	nopanic      no panic in library code paths
+//	norandtime    no math/rand or wall clock in internal packages
+//	detmaprange   no order-dependent map iteration in determinism-critical packages
+//	seedplumb     no hidden seed forks or package-level rng state
+//	nopanic       no panic in library code paths
+//	hotalloc      no allocation constructs in //radiolint:hotpath functions
+//	mirrorref     fault knobs read by the engine are mirrored in RunReference*
+//	scratchreset  poison-rebuild resets every scratch field on a scratch owner
+//	nogoroutine   no goroutines or channels in the sequential simulator core
 //
 // Usage:
 //
@@ -16,48 +20,99 @@
 // [pass] message; the exit status is 1 when anything was found, 2 on a
 // loading or internal failure, and 0 on a clean tree. Findings are
 // suppressed per-line with //radiolint:ignore <pass> <reason> (see
-// CONTRIBUTING.md, "Determinism rules & static analysis").
+// CONTRIBUTING.md, "Determinism rules & static analysis"), or carried in
+// the committed baseline (lint/baseline.json, regenerated with
+// -write-baseline / `make lint-baseline`).
+//
+// With -json the findings are emitted as a single JSON object; with
+// -annotations (the default when GITHUB_ACTIONS=true) each finding is
+// also printed as a ::error workflow command so CI surfaces it inline on
+// the pull request.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"adhocradio/internal/analysis"
 	"adhocradio/internal/analysis/detmaprange"
+	"adhocradio/internal/analysis/hotalloc"
+	"adhocradio/internal/analysis/mirrorref"
+	"adhocradio/internal/analysis/nogoroutine"
 	"adhocradio/internal/analysis/nopanic"
 	"adhocradio/internal/analysis/norandtime"
+	"adhocradio/internal/analysis/scratchreset"
 	"adhocradio/internal/analysis/seedplumb"
 )
 
 var analyzers = []*analysis.Analyzer{
 	detmaprange.Analyzer,
+	hotalloc.Analyzer,
+	mirrorref.Analyzer,
+	nogoroutine.Analyzer,
 	nopanic.Analyzer,
 	norandtime.Analyzer,
+	scratchreset.Analyzer,
 	seedplumb.Analyzer,
 }
 
 func main() {
-	list := flag.Bool("list", false, "list the registered passes and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: radiolint [-list] [./... | dir]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the shape emitted by -json: the unbaselined findings plus
+// the bookkeeping CI needs to judge baseline health.
+type jsonReport struct {
+	Findings  []jsonFinding `json:"findings"`
+	Baselined int           `json:"baselined"`
+	Stale     int           `json:"stale"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run is main with the process edges (args, streams, exit code) made
+// injectable for tests. Exit codes: 0 clean or fully baselined, 1 fresh
+// findings, 2 load/internal error.
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("radiolint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the registered passes and exit")
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON object instead of text")
+	annotations := flags.Bool("annotations", os.Getenv("GITHUB_ACTIONS") == "true",
+		"emit GitHub Actions ::error workflow commands (default true under GITHUB_ACTIONS)")
+	baselinePath := flags.String("baseline", "lint/baseline.json",
+		"known-findings ledger, relative to the module root; empty disables")
+	writeBase := flags.Bool("write-baseline", false,
+		"rewrite the baseline from the current findings and exit")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: radiolint [flags] [./... | dir]\n")
+		flags.PrintDefaults()
 	}
-	flag.Parse()
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	root := "."
-	if flag.NArg() > 0 {
-		root = strings.TrimSuffix(flag.Arg(0), "...")
+	if flags.NArg() > 0 {
+		root = strings.TrimSuffix(flags.Arg(0), "...")
 		root = strings.TrimSuffix(root, string(filepath.Separator))
 		root = strings.TrimSuffix(root, "/")
 		if root == "" {
@@ -66,27 +121,126 @@ func main() {
 	}
 	moduleRoot, err := findModuleRoot(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "radiolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "radiolint:", err)
+		return 2
 	}
 
 	pkgs, err := analysis.Load(moduleRoot, "")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "radiolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "radiolint:", err)
+		return 2
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "radiolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "radiolint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(relativize(moduleRoot, d))
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(moduleRoot, diags[i].Pos.Filename)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "radiolint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+
+	if *writeBase {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "radiolint: -write-baseline needs a -baseline path")
+			return 2
+		}
+		path := resolveBaseline(moduleRoot, *baselinePath)
+		if err := writeBaseline(path, diags); err != nil {
+			fmt.Fprintln(stderr, "radiolint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "radiolint: wrote %d finding(s) to %s\n", len(diags), path)
+		return 0
 	}
+
+	fresh, muted, stale := diags, 0, 0
+	if *baselinePath != "" {
+		base, err := loadBaseline(resolveBaseline(moduleRoot, *baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "radiolint:", err)
+			return 2
+		}
+		fresh, muted, stale = base.subtract(diags)
+	}
+
+	if *jsonOut {
+		report := jsonReport{Findings: []jsonFinding{}, Baselined: muted, Stale: stale}
+		for _, d := range fresh {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     filepath.ToSlash(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&report); err != nil {
+			fmt.Fprintln(stderr, "radiolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d.String())
+			if *annotations {
+				fmt.Fprintln(stdout, annotation(d))
+			}
+		}
+	}
+
+	if stale > 0 {
+		fmt.Fprintf(stderr, "radiolint: %d stale baseline entr%s; regenerate with make lint-baseline\n",
+			stale, plural(stale, "y", "ies"))
+	}
+	if muted > 0 {
+		fmt.Fprintf(stderr, "radiolint: %d finding(s) muted by the baseline\n", muted)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(stderr, "radiolint: %d finding(s)\n", len(fresh))
+		return 1
+	}
+	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// annotation renders a finding as a GitHub Actions workflow command, which
+// the runner turns into an inline PR annotation.
+func annotation(d analysis.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=radiolint/%s::%s",
+		escapeProperty(filepath.ToSlash(d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+		escapeProperty(d.Analyzer), escapeData(d.Message))
+}
+
+// escapeData applies the workflow-command escaping for message bodies.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty applies the stricter escaping for command properties.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+// resolveBaseline anchors a relative baseline path at the module root so
+// the gate behaves the same from any working directory.
+func resolveBaseline(moduleRoot, path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(moduleRoot, filepath.FromSlash(path))
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.
@@ -108,9 +262,9 @@ func findModuleRoot(dir string) (string, error) {
 }
 
 // relativize shortens diagnostic paths to be module-relative for readability.
-func relativize(root string, d analysis.Diagnostic) string {
-	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
+func relativize(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	return d.String()
+	return filename
 }

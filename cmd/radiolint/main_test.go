@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,6 +39,15 @@ func runGate(t *testing.T, root string) []analysis.Diagnostic {
 		t.Fatal(err)
 	}
 	return diags
+}
+
+// runCLI drives the real entry point the way main does, capturing streams
+// and the exit code.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
 }
 
 // TestGateCatchesSeededRegressions seeds a math/rand import and a map range
@@ -95,5 +106,271 @@ func Order(m map[int]int) []int {
 	})
 	if diags := runGate(t, root); len(diags) != 0 {
 		t.Fatalf("clean tree flagged: %v", diags)
+	}
+}
+
+// seededV2Tree builds a module that trips each of the four v2 passes
+// exactly where expected: an allocation in a hotpath function, an
+// unmirrored fault knob, an unreset scratch field, and a goroutine in the
+// simulator core.
+func seededV2Tree(t *testing.T) string {
+	t.Helper()
+	return writeTree(t, map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		"internal/radio/engine.go": `package radio
+
+//radiolint:mirror
+type Plan struct {
+	Loss float64
+}
+
+//radiolint:hotpath
+func Step(p *Plan) []int {
+	go spin()
+	return make([]int, 8)
+}
+
+func spin() {}
+
+//radiolint:scratch-owner
+type runner struct {
+	hits []int
+	seen map[int]bool
+}
+
+func (r *runner) rebuild() {
+	//radiolint:scratch-rebuild
+	r.hits = nil
+	_ = r.seen
+}
+
+func use(p *Plan) float64 { return p.Loss }
+`,
+		"internal/radio/reference.go": `package radio
+
+func RunReference(p *Plan) float64 { return 0 }
+`,
+	})
+}
+
+// TestV2PassesSeededRegressions asserts every new pass fires on its
+// seeded defect through the registered battery.
+func TestV2PassesSeededRegressions(t *testing.T) {
+	diags := runGate(t, seededV2Tree(t))
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[d.Analyzer] = true
+	}
+	for _, want := range []string{"hotalloc", "mirrorref", "scratchreset", "nogoroutine"} {
+		if !got[want] {
+			t.Errorf("seeded %s defect not caught; findings: %v", want, diags)
+		}
+	}
+}
+
+func TestExitCodeCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":            "module example.com/fake\n\ngo 1.22\n",
+		"internal/ok/ok.go": "package ok\n\nfunc Two() int { return 2 }\n",
+	})
+	code, stdout, stderr := runCLI(t, root+"/...")
+	if code != 0 {
+		t.Fatalf("clean tree: exit %d, stderr %q", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree printed findings: %q", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	code, stdout, stderr := runCLI(t, seededV2Tree(t)+"/...")
+	if code != 1 {
+		t.Fatalf("tree with findings: exit %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "[hotalloc]") {
+		t.Errorf("findings output missing hotalloc line: %q", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %q", stderr)
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":              "module example.com/fake\n\ngo 1.22\n",
+		"internal/bad/bad.go": "package bad\n\nfunc {\n",
+	})
+	code, _, stderr := runCLI(t, root+"/...")
+	if code != 2 {
+		t.Fatalf("unparseable tree: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("load error produced no stderr message")
+	}
+}
+
+func TestExitCodeNoModule(t *testing.T) {
+	code, _, stderr := runCLI(t, filepath.Join(t.TempDir(), "nope")+"/...")
+	if code != 2 {
+		t.Fatalf("missing go.mod: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+func TestExitCodeBadFlag(t *testing.T) {
+	if code, _, _ := runCLI(t, "-definitely-not-a-flag"); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestListIncludesV2Passes(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"hotalloc", "mirrorref", "scratchreset", "nogoroutine", "norandtime"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", seededV2Tree(t)+"/...")
+	if code != 1 {
+		t.Fatalf("-json with findings: exit %d, want 1", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("JSON report has no findings")
+	}
+	first := report.Findings[0]
+	if first.File == "" || first.Line == 0 || first.Analyzer == "" || first.Message == "" {
+		t.Errorf("JSON finding missing fields: %+v", first)
+	}
+	if strings.Contains(first.File, "\\") || filepath.IsAbs(first.File) {
+		t.Errorf("JSON file path not module-relative slash form: %q", first.File)
+	}
+}
+
+func TestAnnotationsOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-annotations", seededV2Tree(t)+"/...")
+	if code != 1 {
+		t.Fatalf("-annotations with findings: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "::error file=internal/radio/engine.go,line=") {
+		t.Errorf("missing ::error annotation line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "title=radiolint/hotalloc::") {
+		t.Errorf("annotation missing analyzer title:\n%s", stdout)
+	}
+}
+
+func TestAnnotationEscaping(t *testing.T) {
+	d := analysis.Diagnostic{Analyzer: "x", Message: "50% bad\nnext, line: here"}
+	d.Pos.Filename = "a,b.go"
+	d.Pos.Line, d.Pos.Column = 3, 7
+	got := annotation(d)
+	want := "::error file=a%2Cb.go,line=3,col=7,title=radiolint/x::50%25 bad%0Anext, line: here"
+	if got != want {
+		t.Errorf("annotation escaping:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestBaselineRoundTrip exercises the full ledger lifecycle: write the
+// baseline from a dirty tree, rerun clean against it, then make it stale
+// and check the warning without failing the gate.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := seededV2Tree(t)
+
+	code, _, stderr := runCLI(t, "-write-baseline", root+"/...")
+	if code != 0 {
+		t.Fatalf("-write-baseline: exit %d, stderr %q", code, stderr)
+	}
+	path := filepath.Join(root, "lint", "baseline.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if b.Version != baselineVersion || len(b.Findings) == 0 {
+		t.Fatalf("baseline content wrong: %+v", b)
+	}
+
+	code, stdout, stderr := runCLI(t, root+"/...")
+	if code != 0 {
+		t.Fatalf("fully baselined tree: exit %d\nstdout %q\nstderr %q", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined findings still printed: %q", stdout)
+	}
+	if !strings.Contains(stderr, "muted by the baseline") {
+		t.Errorf("stderr missing muted note: %q", stderr)
+	}
+
+	// A new defect must still fail even with the baseline in place.
+	extra := filepath.Join(root, "internal", "radio", "extra.go")
+	src := "package radio\n\n//radiolint:hotpath\nfunc Fresh() []byte { return make([]byte, 4) }\n"
+	if err := os.WriteFile(extra, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, root+"/...")
+	if code != 1 {
+		t.Fatalf("new finding on baselined tree: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "extra.go") {
+		t.Errorf("new finding not printed: %q", stdout)
+	}
+
+	// Fix every defect: the baseline is now entirely stale, which warns
+	// but does not fail.
+	for _, f := range []string{"engine.go", "reference.go", "extra.go"} {
+		if err := os.Remove(filepath.Join(root, "internal", "radio", f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := filepath.Join(root, "internal", "radio", "ok.go")
+	if err := os.WriteFile(ok, []byte("package radio\n\nfunc Quiet() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI(t, root+"/...")
+	if code != 0 {
+		t.Fatalf("clean tree with stale baseline: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline") {
+		t.Errorf("stderr missing stale warning: %q", stderr)
+	}
+}
+
+func TestBaselineCorruptIsInternalError(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":             "module example.com/fake\n\ngo 1.22\n",
+		"internal/ok/ok.go":  "package ok\n\nfunc Two() int { return 2 }\n",
+		"lint/baseline.json": "{not json",
+	})
+	code, _, stderr := runCLI(t, root+"/...")
+	if code != 2 {
+		t.Fatalf("corrupt baseline: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "baseline") {
+		t.Errorf("stderr does not mention the baseline: %q", stderr)
+	}
+}
+
+func TestBaselineDisabled(t *testing.T) {
+	root := seededV2Tree(t)
+	code, _, _ := runCLI(t, "-write-baseline", root+"/...")
+	if code != 0 {
+		t.Fatal("write-baseline failed")
+	}
+	// With the ledger disabled the same findings fail again.
+	code, _, _ = runCLI(t, "-baseline=", root+"/...")
+	if code != 1 {
+		t.Fatalf("-baseline= should ignore the ledger: exit %d, want 1", code)
 	}
 }

@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one static-analysis pass.
@@ -42,6 +44,10 @@ type Analyzer struct {
 	// the Pass. A returned error aborts the whole radiolint run (it means
 	// the pass itself failed, not that it found something).
 	Run func(*Pass) error
+	// FactTypes declares the fact types this pass exports or imports
+	// (see facts.go). Each entry is a typed nil pointer, e.g.
+	// []Fact{(*MirrorFact)(nil)}. Passes that use no facts leave it nil.
+	FactTypes []Fact
 }
 
 // A Diagnostic is one finding, located at a position in the analyzed tree.
@@ -62,6 +68,7 @@ type Pass struct {
 	Pkg      *Package
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
 // Reportf records a finding at pos unless a suppression comment covers it.
@@ -81,37 +88,96 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // findings sorted by position. Malformed suppression comments (missing pass
 // name or missing reason) are reported as findings of the pseudo-pass
 // "suppress".
+//
+// Packages are analyzed concurrently, one goroutine per package, but each
+// package waits for its intra-module imports to finish first, so facts
+// (facts.go) always flow from a dependency to its importers. The final
+// diagnostic order is deterministic regardless of scheduling: findings are
+// accumulated per package and merged with a total order over (file, line,
+// column, pass, message).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, bad := range pkg.malformed {
-			diags = append(diags, Diagnostic{
-				Pos:      bad.pos,
-				Analyzer: "suppress",
-				Message:  bad.reason,
-			})
-		}
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+	facts := newFactStore()
+	index := make(map[*types.Package]int, len(pkgs))
+	for i, pkg := range pkgs {
+		index[pkg.Types] = i
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	done := make([]chan struct{}, len(pkgs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer close(done[i])
+			// Imports() lists direct dependencies only; transitive ones are
+			// covered because each direct dependency waits for its own.
+			// Go forbids import cycles, so this cannot deadlock.
+			for _, imp := range pkg.Types.Imports() {
+				if j, ok := index[imp]; ok {
+					<-done[j]
+				}
 			}
+			perPkg[i], errs[i] = analyzePackage(pkg, analyzers, facts)
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	// pkgs arrive sorted by import path, so returning the first error by
+	// package index keeps failures deterministic too.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diagLess(diags[i], diags[j]) })
 	return diags, nil
+}
+
+// analyzePackage runs the full analyzer battery over one package,
+// collecting findings locally (no cross-goroutine sharing).
+func analyzePackage(pkg *Package, analyzers []*Analyzer, facts *factStore) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, bad := range pkg.malformed {
+		diags = append(diags, Diagnostic{
+			Pos:      bad.pos,
+			Analyzer: "suppress",
+			Message:  bad.reason,
+		})
+	}
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, facts: facts}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// diagLess is the total order on diagnostics: position, then pass, then
+// message, so ties cannot flip between runs.
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }
 
 // HasSegment reports whether the slash-separated import path contains seg as
@@ -167,7 +233,21 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, src []byte) (sups []sup
 				})
 				continue
 			}
-			s := suppression{passes: strings.Split(fields[0], ",")}
+			passes := strings.Split(fields[0], ",")
+			empty := false
+			for _, name := range passes {
+				if name == "" {
+					empty = true
+				}
+			}
+			if empty {
+				malformed = append(malformed, malformedSuppression{
+					pos:    pos,
+					reason: fmt.Sprintf("radiolint:ignore %s has an empty pass name; write the list without spaces or trailing commas, e.g. //radiolint:ignore a,b <reason>", fields[0]),
+				})
+				continue
+			}
+			s := suppression{passes: passes}
 			s.lines[0] = pos.Line
 			if standaloneComment(src, pos) {
 				s.lines[1] = pos.Line + 1

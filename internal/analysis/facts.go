@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// A Fact is a typed datum an analyzer computes while analyzing one package
+// and reads back while analyzing a downstream package. Facts are keyed by
+// the types.Object they describe (a field, a method, a function); because
+// the whole module is type-checked through one importer, the object
+// identities are shared across packages, so a fact exported on
+// fault.(*State).LinkDown while analyzing internal/fault is found again
+// when internal/radio's selector expressions resolve to the same object.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (AFact
+// marker method, ExportObjectFact/ImportObjectFact on the Pass, FactTypes
+// registration on the Analyzer) so a future migration to the real
+// multichecker stays mechanical. Unlike x/tools, misuse returns errors
+// instead of panicking — the nopanic house rule applies to this package
+// too.
+//
+// Run analyzes packages in dependency order (imports before importers), so
+// by the time an analyzer sees a package, every fact its dependencies
+// could export has been exported. Facts do not flow "sideways" between
+// unrelated packages, and an analyzer only sees fact types it declared in
+// FactTypes.
+type Fact interface {
+	// AFact is a marker method; fact types are identified by their dynamic
+	// type, and the method documents intent at the definition site.
+	AFact()
+}
+
+// factKey identifies one fact: the object it is attached to plus the
+// concrete fact type, so one object can carry facts from several passes.
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// factStore is the per-Run fact table. Packages are analyzed in dependency
+// order, so every read of a dependency's facts happens after the goroutine
+// that wrote them has finished (the scheduler's channel close is the
+// happens-before edge); the mutex additionally makes the store safe for
+// the same-package export-then-import pattern and for the race detector.
+type factStore struct {
+	mu sync.RWMutex
+	m  map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: map[factKey]Fact{}}
+}
+
+// declaresFactType reports whether the analyzer registered fact's concrete
+// type in FactTypes. Registration is mandatory (as in x/tools): it makes
+// each pass's cross-package surface visible in its declaration.
+func (p *Pass) declaresFactType(fact Fact) bool {
+	t := reflect.TypeOf(fact)
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact associates fact with obj for downstream packages. The
+// object must belong to the package under analysis (facts describe your
+// own declarations; a pass analyzing an importer must not rewrite history
+// for its dependencies), and the fact's type must be registered in the
+// analyzer's FactTypes. fact must be a non-nil pointer.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if obj == nil || fact == nil {
+		return fmt.Errorf("analysis: ExportObjectFact(%v, %v): nil argument", obj, fact)
+	}
+	if obj.Pkg() != p.Pkg.Types {
+		return fmt.Errorf("analysis: %s: ExportObjectFact on %v, which belongs to %v, not the package under analysis",
+			p.Analyzer.Name, obj, obj.Pkg())
+	}
+	if reflect.TypeOf(fact).Kind() != reflect.Pointer {
+		return fmt.Errorf("analysis: %s: fact type %T is not a pointer", p.Analyzer.Name, fact)
+	}
+	if !p.declaresFactType(fact) {
+		return fmt.Errorf("analysis: %s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact)
+	}
+	key := factKey{obj: obj, typ: reflect.TypeOf(fact)}
+	p.facts.mu.Lock()
+	p.facts.m[key] = fact
+	p.facts.mu.Unlock()
+	return nil
+}
+
+// ImportObjectFact copies the fact of ptr's type previously exported on obj
+// into *ptr and reports whether one was found. ptr must be a non-nil
+// pointer of a type registered in the analyzer's FactTypes; lookups for
+// unregistered or non-pointer types simply find nothing.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil || ptr == nil || !p.declaresFactType(ptr) {
+		return false
+	}
+	rv := reflect.ValueOf(ptr)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return false
+	}
+	key := factKey{obj: obj, typ: reflect.TypeOf(ptr)}
+	p.facts.mu.RLock()
+	fact, ok := p.facts.m[key]
+	p.facts.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	rv.Elem().Set(reflect.ValueOf(fact).Elem())
+	return true
+}

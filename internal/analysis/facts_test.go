@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testFact is the fact type the framework tests push across the aa -> bb
+// package boundary.
+type testFact struct{ Tag string }
+
+func (*testFact) AFact() {}
+
+// loadDeps loads the two-package fixture (bb imports aa).
+func loadDeps(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load("testdata/deps", "example.com/deps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	return pkgs
+}
+
+// factAnalyzer exports a fact on aa.A while analyzing aa and reports a
+// diagnostic from bb for every use of an object carrying the fact — the
+// smallest possible cross-package fact round trip.
+func factAnalyzer(tb testing.TB) *Analyzer {
+	a := &Analyzer{
+		Name:      "factprobe",
+		Doc:       "test analyzer exercising cross-package facts",
+		FactTypes: []Fact{(*testFact)(nil)},
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !fn.Name.IsExported() {
+					continue
+				}
+				if strings.HasSuffix(pass.Pkg.Path, "/aa") {
+					obj := pass.Pkg.Info.Defs[fn.Name]
+					if err := pass.ExportObjectFact(obj, &testFact{Tag: "hot"}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if strings.HasSuffix(pass.Pkg.Path, "/bb") {
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj := pass.Pkg.Info.Uses[sel.Sel]
+					var got testFact
+					if pass.ImportObjectFact(obj, &got) {
+						pass.Reportf(sel.Pos(), "use of %s tagged %q", obj.Name(), got.Tag)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func TestFactsFlowAcrossPackages(t *testing.T) {
+	pkgs := loadDeps(t)
+	diags, err := Run(pkgs, []*Analyzer{factAnalyzer(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly one fact-tagged use: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `tagged "hot"`) {
+		t.Errorf("fact payload lost: %v", diags[0])
+	}
+	if !strings.HasSuffix(diags[0].Pos.Filename, "bb.go") {
+		t.Errorf("fact-driven finding not reported from the importer: %v", diags[0])
+	}
+}
+
+func TestExportObjectFactRejectsMisuse(t *testing.T) {
+	pkgs := loadDeps(t)
+	// Locate aa's package and an object from bb (foreign to aa's pass).
+	var aa, bb *Package
+	for _, p := range pkgs {
+		switch {
+		case strings.HasSuffix(p.Path, "/aa"):
+			aa = p
+		case strings.HasSuffix(p.Path, "/bb"):
+			bb = p
+		}
+	}
+	bbObj := bb.Types.Scope().Lookup("B")
+	if bbObj == nil {
+		t.Fatal("fixture object bb.B not found")
+	}
+	a := &Analyzer{Name: "misuse", Doc: "t", FactTypes: []Fact{(*testFact)(nil)}}
+	pass := &Pass{Analyzer: a, Pkg: aa, diags: new([]Diagnostic), facts: newFactStore()}
+
+	if err := pass.ExportObjectFact(bbObj, &testFact{}); err == nil {
+		t.Error("exporting a fact on a foreign package's object succeeded")
+	}
+	if err := pass.ExportObjectFact(nil, &testFact{}); err == nil {
+		t.Error("exporting a fact on a nil object succeeded")
+	}
+	aaObj := aa.Types.Scope().Lookup("A")
+	type otherFact struct{ Fact }
+	if err := pass.ExportObjectFact(aaObj, &otherFact{}); err == nil {
+		t.Error("exporting an unregistered fact type succeeded")
+	}
+	if err := pass.ExportObjectFact(aaObj, &testFact{Tag: "x"}); err != nil {
+		t.Errorf("well-formed export failed: %v", err)
+	}
+	var got testFact
+	if !pass.ImportObjectFact(aaObj, &got) || got.Tag != "x" {
+		t.Errorf("round trip lost the fact: found=%v got=%+v", got.Tag == "x", got)
+	}
+	if pass.ImportObjectFact(bbObj, &got) {
+		t.Error("import found a fact that was never exported")
+	}
+	if pass.ImportObjectFact(aaObj, nil) {
+		t.Error("import into a nil pointer succeeded")
+	}
+}
+
+// TestRunDiagnosticOrderAcrossPackages pins the deterministic merge: an
+// analyzer reporting from every package must see its findings come back
+// ordered by (file, line, column, pass, message) no matter which goroutine
+// finished first.
+func TestRunDiagnosticOrderAcrossPackages(t *testing.T) {
+	pkgs := loadDeps(t)
+	report := &Analyzer{Name: "report", Doc: "reports every func decl"}
+	report.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	}
+	var first string
+	for round := 0; round < 25; round++ {
+		diags, err := Run(pkgs, []*Analyzer{report, factAnalyzer(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(diags); i++ {
+			if diagLess(diags[i], diags[i-1]) {
+				t.Fatalf("round %d: findings out of order: %v before %v", round, diags[i-1], diags[i])
+			}
+		}
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		if round == 0 {
+			first = b.String()
+			if !strings.Contains(first, "func A") || !strings.Contains(first, "func B") {
+				t.Fatalf("findings missing packages: %s", first)
+			}
+			continue
+		}
+		if b.String() != first {
+			t.Fatalf("round %d produced different output:\n%s\nvs\n%s", round, b.String(), first)
+		}
+	}
+}
+
+// TestRunParallelSafety hammers Run concurrently over the same loaded
+// packages; under -race this catches any shared-state slip in the
+// scheduler or fact store.
+func TestRunParallelSafety(t *testing.T) {
+	pkgs := loadDeps(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Run(pkgs, []*Analyzer{factAnalyzer(t)}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,242 @@
+// Package hotalloc flags allocation-causing constructs in functions
+// annotated //radiolint:hotpath.
+//
+// The simulator's steady-state loops (Runner.RunInto and the tally/deliver
+// helpers it calls, plus internal/fault's per-step PRF decisions) are
+// contractually allocation-free: TestRunnerSteadyStateAllocs pins the
+// runtime behaviour, but only for the workloads it happens to run. This
+// pass encodes the same rule statically, so an alloc on a branch the test
+// never takes is still caught. Inside an annotated function it reports:
+//
+//   - make and new, unless guarded by a grow-once condition (an enclosing
+//     if whose condition consults cap/len or compares against nil — the
+//     engine's "grow scratch only when too small" idiom);
+//   - append that does not reassign over its own first argument
+//     (x = append(x, ...) recycles the pre-sized backing array and is the
+//     accepted scratch idiom; y := append(x, ...) hides growth);
+//   - function literals (closures allocate their captures);
+//   - calls into package fmt (every variadic ...any call boxes, and the
+//     formatters allocate their result);
+//   - non-constant string concatenation;
+//   - assignments that box a concrete value into an interface.
+//
+// Error paths that legitimately allocate (a fmt.Errorf on the way out) are
+// suppressed in place with //radiolint:ignore hotalloc <reason> or carried
+// in lint/baseline.json.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-causing constructs in //radiolint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !analysis.HasMarker(fn.Doc, "hotpath") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	guards := growGuards(fn.Body)
+	blessed := selfAppends(pass, fn.Body)
+	info := pass.Pkg.Info
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, info, n, guards, blessed)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in a hot path: closures allocate their captures; hoist the logic into a method")
+		case *ast.BinaryExpr:
+			checkConcat(pass, info, n)
+		case *ast.AssignStmt:
+			checkBoxing(pass, info, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, guards []guard, blessed map[*ast.CallExpr]bool) {
+	// A conversion to an interface type boxes its operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		if to != nil && from != nil && types.IsInterface(to) && !types.IsInterface(from) && !isUntypedNil(from) {
+			pass.Reportf(call.Pos(), "conversion of %s to interface %s boxes the value on the heap",
+				typeName(pass, from), typeName(pass, to))
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); !ok {
+			return
+		}
+		switch fun.Name {
+		case "make", "new":
+			if !guardedAt(guards, call.Pos()) {
+				pass.Reportf(call.Pos(), "%s in a hot path allocates every call; pre-size the scratch and guard regrowth with a cap/len or nil check", fun.Name)
+			}
+		case "append":
+			if !blessed[call] {
+				pass.Reportf(call.Pos(), "append result is not reassigned over its own first argument; growth allocates a new backing array — use x = append(x, ...) on pre-sized scratch")
+			}
+		}
+	case *ast.SelectorExpr:
+		ident, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if pn, ok := info.Uses[ident].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in a hot path: formatting allocates and boxes its arguments; build errors outside the steady-state loop", fun.Sel.Name)
+		}
+	}
+}
+
+// typeName prints a type relative to the package under analysis, so
+// messages say "item", not "example.com/hot/hot.item".
+func typeName(pass *analysis.Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg.Types))
+}
+
+// checkConcat flags runtime string concatenation; constant-folded concats
+// are free and skipped.
+func checkConcat(pass *analysis.Pass, info *types.Info, b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := info.Types[b]
+	if !ok || tv.Value != nil { // constant-folded
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+		pass.Reportf(b.Pos(), "string concatenation in a hot path allocates; precompute the string or use fixed buffers outside the loop")
+	}
+}
+
+// checkBoxing flags assignments whose right side is a concrete value
+// landing in an interface-typed left side. Only 1:1 assignment pairs are
+// considered (comma-ok and multi-value calls are conversion-free).
+func checkBoxing(pass *analysis.Pass, info *types.Info, a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt := info.TypeOf(lhs)
+		rt := info.TypeOf(a.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(rt) {
+			pass.Reportf(a.Rhs[i].Pos(), "assignment boxes %s into %s; interface conversions on the hot path allocate",
+				typeName(pass, rt), typeName(pass, lt))
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// guard is the body extent of an if statement whose condition consults
+// cap/len or compares against nil — the grow-once idiom
+// (if cap(s) < n { s = make(...) }).
+type guard struct{ lo, hi token.Pos }
+
+func growGuards(body *ast.BlockStmt) []guard {
+	var gs []guard
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !isGrowCond(ifs.Cond) {
+			return true
+		}
+		gs = append(gs, guard{lo: ifs.Body.Pos(), hi: ifs.Body.End()})
+		return true
+	})
+	return gs
+}
+
+// isGrowCond reports whether the condition looks like a capacity or
+// initialization check: it mentions cap(...) or len(...) or compares
+// something to nil.
+func isGrowCond(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func guardedAt(gs []guard, pos token.Pos) bool {
+	for _, g := range gs {
+		if g.lo <= pos && pos < g.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// selfAppends collects append calls in x = append(x, ...) position — the
+// reuse idiom where the (pre-sized) destination is its own source.
+func selfAppends(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	blessed := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || len(call.Args) == 0 {
+				continue
+			}
+			if _, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+				continue
+			}
+			if types.ExprString(a.Lhs[i]) == types.ExprString(call.Args[0]) {
+				blessed[call] = true
+			}
+		}
+		return true
+	})
+	return blessed
+}

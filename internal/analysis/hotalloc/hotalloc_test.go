@@ -1,0 +1,22 @@
+package hotalloc
+
+import (
+	"strings"
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "example.com/hot", Analyzer)
+	// Every finding must come from the annotated functions; Unmarked's
+	// allocations are out of scope by construction.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Unmarked") {
+			t.Errorf("finding leaked out of annotated functions: %v", d)
+		}
+	}
+	if len(diags) != 8 {
+		t.Errorf("got %d findings, want 8 (one per construct)", len(diags))
+	}
+}

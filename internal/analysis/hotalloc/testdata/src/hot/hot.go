@@ -1,0 +1,61 @@
+package hot
+
+import "fmt"
+
+type item struct{ v int }
+
+type runner struct {
+	hits  []int32
+	dirty []int32
+	aux   *item
+}
+
+// Bad collects one true positive per construct the pass knows about.
+//
+//radiolint:hotpath
+func Bad(xs []int, s1, s2 string, it item) {
+	buf := make([]int, 4) // want "make in a hot path allocates every call"
+	_ = buf
+	p := new(item) // want "new in a hot path allocates every call"
+	_ = p
+	out := append(xs, 1) // want "append result is not reassigned over its own first argument"
+	_ = out
+	f := func() int { return it.v } // want "function literal in a hot path"
+	_ = f
+	s := s1 + s2 // want "string concatenation in a hot path allocates"
+	_ = s
+	_ = fmt.Sprintf("%d", it.v) // want "fmt.Sprintf in a hot path"
+	var box any
+	box = it // want "boxes item into any"
+	_ = box
+	_ = any(it.v) // want "conversion of int to interface any boxes the value"
+}
+
+// Good is hot too, but uses only the sanctioned idioms: grow-once guards,
+// self-appends over pre-sized scratch, and constant concatenation.
+//
+//radiolint:hotpath
+func Good(r *runner, n int) {
+	if cap(r.hits) < n {
+		r.hits = make([]int32, n)
+	}
+	if r.aux == nil {
+		r.aux = new(item)
+	}
+	r.dirty = r.dirty[:0]
+	for i := int32(0); i < int32(n); i++ {
+		r.dirty = append(r.dirty, i)
+	}
+	const greeting = "hello, " + "world" // constant-folded: free
+	_ = greeting
+	//radiolint:ignore hotalloc error path, runs at most once per call
+	err := fmt.Errorf("n = %d", n)
+	_ = err
+}
+
+// Unmarked allocates freely: the pass only applies to annotated functions.
+func Unmarked(xs []int) []int {
+	out := make([]int, 0, len(xs)+1)
+	out = append(out, xs...)
+	return append(out, len(xs))
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive comments. Beyond //radiolint:ignore (see package doc), passes
+// read declaration markers of the form
+//
+//	//radiolint:<name> [trailing note]
+//
+// attached to a declaration's doc comment (or, for struct fields, the
+// field's doc or trailing comment). gofmt preserves //word:word comments
+// verbatim, so the markers survive formatting. The markers in use:
+//
+//	//radiolint:hotpath        function must stay allocation-free (hotalloc)
+//	//radiolint:mirror         type's members are engine/reference-mirrored (mirrorref)
+//	//radiolint:mirror-exempt  member deliberately read by only one side (mirrorref)
+//	//radiolint:scratch-owner  struct whose slice/map fields are reusable scratch (scratchreset)
+//	//radiolint:scratch-rebuild block that must reset every scratch field (scratchreset)
+const markerPrefix = "//radiolint:"
+
+// HasMarker reports whether the comment group contains the directive
+// //radiolint:<name>, exactly or followed by a space-separated note.
+func HasMarker(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	directive := markerPrefix + name
+	for _, c := range cg.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldHasMarker reports whether a struct field carries the directive in
+// either its doc comment or its trailing line comment.
+func FieldHasMarker(f *ast.Field, name string) bool {
+	return HasMarker(f.Doc, name) || HasMarker(f.Comment, name)
+}

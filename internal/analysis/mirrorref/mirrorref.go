@@ -1,0 +1,253 @@
+// Package mirrorref enforces the mirror-in-reference rule from
+// CONTRIBUTING.md ("Adding a fault model"): every piece of the fault and
+// options surface the optimized engine consults must also be consulted by
+// the naive reference simulator, because the two implementations agreeing
+// is the only evidence the semantics are what we think they are.
+//
+// The rule is wired up with two annotations:
+//
+//   - //radiolint:mirror on a type declaration (fault.Plan, fault.State,
+//     radio.Options, radio.Config) marks every exported field and method
+//     of that type as part of the mirrored surface. While analyzing the
+//     declaring package the pass exports a MirrorFact on each member, so
+//     the check works across package boundaries (internal/fault's members
+//     are found again from internal/radio via the shared type-checker
+//     objects).
+//
+//   - //radiolint:mirror-exempt <why> on an individual field or method
+//     removes it from the rule, for members that are deliberately
+//     one-sided (an iteration accelerator like State.JammerNodes whose
+//     semantics are covered by JamAt, or an engine-only Options feature
+//     the reference's core model does not implement).
+//
+// In a package that contains both a file named engine.go and functions
+// named RunReference*, the pass then compares: every mirrored member read
+// (selected) anywhere in engine.go must also be read inside some
+// RunReference* function. A member the engine consults but the reference
+// ignores is exactly the silent-divergence bug the differential tests
+// exist to catch — this reports it before a single trial runs.
+package mirrorref
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"adhocradio/internal/analysis"
+)
+
+// MirrorFact marks one field or method as part of the engine/reference
+// mirrored surface.
+type MirrorFact struct {
+	// Exempt is true for members annotated //radiolint:mirror-exempt:
+	// still part of the surface, but deliberately one-sided.
+	Exempt bool
+}
+
+// AFact marks MirrorFact as a cross-package fact.
+func (*MirrorFact) AFact() {}
+
+// Analyzer is the mirrorref pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "mirrorref",
+	Doc:       "every //radiolint:mirror member read by engine.go must be read by RunReference*",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*MirrorFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	if err := exportMirrorFacts(pass); err != nil {
+		return err
+	}
+	return checkMirror(pass)
+}
+
+// exportMirrorFacts finds //radiolint:mirror types declared in this
+// package and attaches a MirrorFact to each of their exported fields and
+// methods.
+func exportMirrorFacts(pass *analysis.Pass) error {
+	marked := map[types.Object]bool{} // the marked type names
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// With one spec per decl the annotation usually sits on the
+				// GenDecl; grouped specs carry their own docs.
+				if !analysis.HasMarker(gd.Doc, "mirror") && !analysis.HasMarker(ts.Doc, "mirror") {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				marked[obj] = true
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					exempt := analysis.FieldHasMarker(field, "mirror-exempt")
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue
+						}
+						fobj := pass.Pkg.Info.Defs[name]
+						if fobj == nil {
+							continue
+						}
+						if err := pass.ExportObjectFact(fobj, &MirrorFact{Exempt: exempt}); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return nil
+	}
+	// Second sweep: methods whose receiver base type is marked.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || !fn.Name.IsExported() {
+				continue
+			}
+			if !marked[recvTypeObj(pass, fn.Recv.List[0].Type)] {
+				continue
+			}
+			mobj := pass.Pkg.Info.Defs[fn.Name]
+			if mobj == nil {
+				continue
+			}
+			exempt := analysis.HasMarker(fn.Doc, "mirror-exempt")
+			if err := pass.ExportObjectFact(mobj, &MirrorFact{Exempt: exempt}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeObj resolves a receiver type expression (T or *T) to the type
+// name's object.
+func recvTypeObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Pkg.Info.Uses[id]
+}
+
+// read is one engine-side read of a mirrored member.
+type read struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// checkMirror runs in packages that have both sides: a file literally
+// named engine.go and at least one RunReference* function.
+func checkMirror(pass *analysis.Pass) error {
+	var engineFiles []*ast.File
+	var refFuncs []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		name := filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename)
+		if name == "engine.go" {
+			engineFiles = append(engineFiles, f)
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil &&
+				fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "RunReference") {
+				refFuncs = append(refFuncs, fn)
+			}
+		}
+	}
+	if len(engineFiles) == 0 || len(refFuncs) == 0 {
+		return nil
+	}
+
+	engineReads := map[types.Object]token.Pos{} // first read position
+	for _, f := range engineFiles {
+		collectReads(pass, f, func(obj types.Object, pos token.Pos) {
+			if old, ok := engineReads[obj]; !ok || pos < old {
+				engineReads[obj] = pos
+			}
+		})
+	}
+	refReads := map[types.Object]bool{}
+	for _, fn := range refFuncs {
+		collectReads(pass, fn.Body, func(obj types.Object, pos token.Pos) {
+			refReads[obj] = true
+		})
+	}
+
+	// Report in engine-read position order, one finding per member.
+	var missing []read
+	for obj, pos := range engineReads {
+		var fact MirrorFact
+		if !pass.ImportObjectFact(obj, &fact) {
+			continue // not part of a mirrored surface
+		}
+		if fact.Exempt || refReads[obj] {
+			continue
+		}
+		missing = append(missing, read{obj: obj, pos: pos})
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].pos < missing[j].pos })
+	for _, m := range missing {
+		pass.Reportf(m.pos, "mirror rule: %s is read in engine.go but by no RunReference* function; mirror it in the reference simulator or annotate the member //radiolint:mirror-exempt <why>",
+			memberName(m.obj))
+	}
+	return nil
+}
+
+// memberName renders a member as pkg.Owner.Name when the owner is
+// recoverable (methods carry their receiver; struct fields do not), else
+// pkg.Name.
+func memberName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return obj.Pkg().Name() + "." + named.Obj().Name() + "." + obj.Name()
+			}
+		}
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// collectReads walks a subtree and calls fn for every selector expression
+// resolving to a field or method object.
+func collectReads(pass *analysis.Pass, root ast.Node, fn func(types.Object, token.Pos)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.Pkg.Info.Selections[sel]; ok {
+			fn(s.Obj(), sel.Sel.Pos())
+		} else if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
+			// Package-qualified references (pkg.Member) have no Selection
+			// entry; methods read through a qualified type alias etc. land
+			// here.
+			fn(obj, sel.Sel.Pos())
+		}
+		return true
+	})
+}

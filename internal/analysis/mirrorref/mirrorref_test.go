@@ -1,0 +1,22 @@
+package mirrorref
+
+import (
+	"strings"
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+)
+
+func TestMirrorref(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "example.com/mirror", Analyzer)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (one field, one method): %v", len(diags), diags)
+	}
+	// Both findings must anchor to engine.go — the place the asymmetric
+	// read happens — not to the declaring package.
+	for _, d := range diags {
+		if !strings.HasSuffix(d.Pos.Filename, "engine.go") {
+			t.Errorf("finding not anchored to the engine read: %v", d)
+		}
+	}
+}

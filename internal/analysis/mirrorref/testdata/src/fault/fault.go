@@ -1,0 +1,28 @@
+// Package fault is the fixture's stand-in for internal/fault: a mirrored
+// plan/state surface consumed by the sim package's engine and reference.
+package fault
+
+// Plan is consulted by both simulators.
+//
+//radiolint:mirror
+type Plan struct {
+	// Loss is read by both sides: clean.
+	Loss float64
+	// Jam is read only by the engine: the field true positive.
+	Jam float64
+	//radiolint:mirror-exempt engine-side accelerator; semantics covered by Loss
+	Phase int
+	// Unused is read by neither side and must never be reported.
+	Unused int
+}
+
+// State is the compiled plan.
+//
+//radiolint:mirror
+type State struct{ plan *Plan }
+
+// Down is read by both sides: clean.
+func (s *State) Down(t, v int) bool { return s.plan.Loss > 0 && t%2 == 0 && v >= 0 }
+
+// Fast is read only by the engine: the method true positive.
+func (s *State) Fast(t int) bool { return t%3 == 0 }

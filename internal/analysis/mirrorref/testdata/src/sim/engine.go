@@ -1,0 +1,34 @@
+package sim
+
+import "example.com/mirror/fault"
+
+// Options is a same-package mirrored surface (the radio.Options shape).
+//
+//radiolint:mirror
+type Options struct {
+	// Max is read by both sides: clean.
+	Max int
+	//radiolint:mirror-exempt engine-only tracing; the reference has no trace hook
+	Trace bool
+}
+
+type runner struct{ st *fault.State }
+
+func (r *runner) step(p *fault.Plan, o Options, t int) float64 {
+	x := p.Loss
+	x += p.Jam // want "fault.Jam is read in engine.go but by no RunReference"
+	x += float64(p.Phase)
+	if t > o.Max {
+		return x
+	}
+	if o.Trace {
+		x += 0.5
+	}
+	if r.st.Down(t, 1) {
+		x++
+	}
+	if r.st.Fast(t) { // want "fault.State.Fast is read in engine.go but by no RunReference"
+		x++
+	}
+	return x
+}

@@ -1,0 +1,17 @@
+package sim
+
+import "example.com/mirror/fault"
+
+// RunReference mirrors the engine naively: it reads Loss, Down and Max,
+// but not Jam or Fast — which is exactly what the pass reports against
+// engine.go.
+func RunReference(p *fault.Plan, st *fault.State, o Options, t int) float64 {
+	x := p.Loss
+	if t > o.Max {
+		return x
+	}
+	if st.Down(t, 0) {
+		x++
+	}
+	return x
+}

@@ -1,0 +1,108 @@
+// Package nogoroutine forbids goroutines and channel operations inside the
+// simulator core: internal/radio, internal/fault and internal/exact.
+//
+// Determinism in this repository lives in exactly one place — the
+// experiment worker pool (internal/experiment/pool), whose index-sharded
+// dispatch makes parallel runs bit-identical to sequential ones. The
+// simulator itself must stay strictly sequential: a Runner is documented
+// as single-goroutine, every fault decision is an order-independent PRF
+// precisely so that no concurrency is needed, and the differential gates
+// compare observables that any internal scheduling would scramble. A `go`
+// statement or channel inside the core is therefore either dead weight or
+// a replayability bug under construction; parallelism belongs in the
+// harness layer above.
+//
+// The pass reports go statements, channel sends/receives, select
+// statements, range-over-channel loops, close() calls and make(chan ...)
+// in the scoped packages. Test files are out of scope (the loader never
+// parses them), as are the harness packages (experiment, cmd, examples).
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the nogoroutine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc:  "forbid goroutines and channel operations in the simulator core packages",
+	Run:  run,
+}
+
+// scoped are the package path segments (under internal/) that form the
+// sequential simulator core.
+var scoped = []string{"radio", "fault", "exact"}
+
+func inScope(path string) bool {
+	if !analysis.HasSegment(path, "internal") {
+		return false
+	}
+	for _, seg := range scoped {
+		if analysis.HasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+const why = "the simulator core is strictly sequential; determinism-preserving parallelism lives in internal/experiment/pool"
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in the simulator core: %s", why)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in the simulator core: %s", why)
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive in the simulator core: %s", why)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in the simulator core: %s", why)
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over a channel in the simulator core: %s", why)
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				switch id.Name {
+				case "make":
+					if len(n.Args) > 0 {
+						if t := info.TypeOf(n.Args[0]); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								pass.Reportf(n.Pos(), "make(chan ...) in the simulator core: %s", why)
+							}
+						}
+					}
+				case "close":
+					if len(n.Args) == 1 {
+						if t := info.TypeOf(n.Args[0]); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								pass.Reportf(n.Pos(), "close of a channel in the simulator core: %s", why)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package nogoroutine
+
+import (
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+)
+
+func TestNogoroutine(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "example.com/core", Analyzer)
+	if len(diags) != 7 {
+		t.Errorf("got %d findings, want 7 (all in internal/radio): %v", len(diags), diags)
+	}
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"adhocradio/internal/radio", true},
+		{"adhocradio/internal/radio/radiotest", true},
+		{"adhocradio/internal/fault", true},
+		{"adhocradio/internal/exact", true},
+		{"adhocradio/internal/experiment/pool", false},
+		{"adhocradio/cmd/radiobench", false},
+		{"adhocradio/internal/graph", false},
+	}
+	for _, c := range cases {
+		if got := inScope(c.path); got != c.want {
+			t.Errorf("inScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

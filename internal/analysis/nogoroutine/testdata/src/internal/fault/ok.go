@@ -1,0 +1,18 @@
+package fault
+
+// clean fault-model code: pure functions, slices, no concurrency — the
+// in-scope clean case.
+func chance(key, a, b uint64) float64 {
+	z := key ^ (a+1)*0x9e3779b97f4a7c15
+	z ^= (b + 1) * 0xd1342543de82ef95
+	return float64(z>>11) / (1 << 53)
+}
+
+// rangeOverSlice proves only channel ranges are flagged.
+func rangeOverSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+// Package pool stands in for the harness layer, which is allowed to use
+// real concurrency: it is outside the scoped core packages.
+package pool
+
+func fanOut(n int) []int {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { results <- i * i }(i)
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-results)
+	}
+	close(results)
+	return out
+}

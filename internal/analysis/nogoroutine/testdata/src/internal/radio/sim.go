@@ -1,0 +1,18 @@
+package radio
+
+func work() {}
+
+func step(done chan int, src <-chan int) {
+	go work()  // want "go statement in the simulator core"
+	done <- 2  // want "channel send in the simulator core"
+	v := <-src // want "channel receive in the simulator core"
+	_ = v
+	select { // want "select statement in the simulator core"
+	default:
+	}
+	for range src { // want "range over a channel in the simulator core"
+		break
+	}
+	c := make(chan bool) // want "make(chan ...) in the simulator core"
+	close(c)             // want "close of a channel in the simulator core"
+}

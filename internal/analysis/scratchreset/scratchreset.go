@@ -1,0 +1,186 @@
+// Package scratchreset enforces the poison-rebuild rule on reusable
+// scratch: every slice or map field of a struct annotated
+// //radiolint:scratch-owner must be reset inside the block marked
+// //radiolint:scratch-rebuild.
+//
+// The engine's Runner owns per-run scratch whose between-runs invariant
+// (counters all zero, flags all false) is maintained incrementally — each
+// step cleans up exactly what it touched. A panicking protocol unwinds
+// mid-step and leaves the invariant broken, which is why ensure() nils
+// every scratch buffer when it detects an unclean previous run and lets
+// the sizing code rebuild from scratch. The failure mode this pass guards
+// against: someone adds a new scratch field, sizes it lazily, and forgets
+// the poison branch — now a panic in trial k silently corrupts trial k+1,
+// which is the worst kind of determinism bug (it depends on which trial
+// panicked). TestRunnerPoisonedScratch catches the fields it knows about;
+// this pass catches the field that was added yesterday.
+//
+// Mechanics: the pass finds every //radiolint:scratch-owner struct in the
+// package and every block containing a standalone //radiolint:scratch-rebuild
+// comment, then requires each slice/map field of each owner to appear as
+// an assignment target inside some marked block. A scratch field whose
+// invariant genuinely survives a mid-step unwind is excused with an
+// ordinary //radiolint:ignore scratchreset <reason> on its declaration.
+package scratchreset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"adhocradio/internal/analysis"
+)
+
+// Analyzer is the scratchreset pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchreset",
+	Doc:  "every scratch-owner slice/map field must be reset in the scratch-rebuild block",
+	Run:  run,
+}
+
+const rebuildMarker = "//radiolint:scratch-rebuild"
+
+// field is one slice/map member of an owner struct.
+type field struct {
+	obj  types.Object
+	pos  token.Pos
+	name string
+}
+
+// owner is one annotated struct.
+type owner struct {
+	name   string
+	pos    token.Pos
+	fields []field
+}
+
+func run(pass *analysis.Pass) error {
+	var owners []owner
+	for _, f := range pass.Pkg.Files {
+		owners = append(owners, collectOwners(pass, f)...)
+	}
+	if len(owners) == 0 {
+		return nil
+	}
+
+	reset := map[types.Object]bool{}
+	foundBlock := false
+	for _, f := range pass.Pkg.Files {
+		for _, block := range rebuildBlocks(pass, f) {
+			foundBlock = true
+			collectResets(pass, block, reset)
+		}
+	}
+
+	for _, o := range owners {
+		if !foundBlock {
+			pass.Reportf(o.pos, "scratch owner %s has no %s block in this package; mark the poison-rebuild path that resets its scratch", o.name, rebuildMarker)
+			continue
+		}
+		for _, fld := range o.fields {
+			if !reset[fld.obj] {
+				pass.Reportf(fld.pos, "scratch field %s.%s is not reset in the %s block; a panic mid-run would leak its poisoned state into the next run", o.name, fld.name, rebuildMarker)
+			}
+		}
+	}
+	return nil
+}
+
+// collectOwners finds //radiolint:scratch-owner structs and their
+// slice/map fields.
+func collectOwners(pass *analysis.Pass, f *ast.File) []owner {
+	var owners []owner
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if !analysis.HasMarker(gd.Doc, "scratch-owner") && !analysis.HasMarker(ts.Doc, "scratch-owner") {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			o := owner{name: ts.Name.Name, pos: ts.Pos()}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					obj := pass.Pkg.Info.Defs[name]
+					if obj == nil || !isSliceOrMap(obj.Type()) {
+						continue
+					}
+					o.fields = append(o.fields, field{obj: obj, pos: name.Pos(), name: name.Name})
+				}
+			}
+			owners = append(owners, o)
+		}
+	}
+	return owners
+}
+
+func isSliceOrMap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// rebuildBlocks returns, for every //radiolint:scratch-rebuild comment in
+// the file, the innermost block statement containing it.
+func rebuildBlocks(pass *analysis.Pass, f *ast.File) []*ast.BlockStmt {
+	var marks []token.Pos
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == rebuildMarker || strings.HasPrefix(c.Text, rebuildMarker+" ") {
+				marks = append(marks, c.Pos())
+			}
+		}
+	}
+	var blocks []*ast.BlockStmt
+	for _, pos := range marks {
+		var innermost *ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			if b.Pos() <= pos && pos < b.End() {
+				// Walking top-down, later matches are nested deeper.
+				innermost = b
+			}
+			return true
+		})
+		if innermost != nil {
+			blocks = append(blocks, innermost)
+		}
+	}
+	return blocks
+}
+
+// collectResets records every field object assigned (via a selector) in
+// the block.
+func collectResets(pass *analysis.Pass, block *ast.BlockStmt, reset map[types.Object]bool) {
+	ast.Inspect(block, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range a.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s, ok := pass.Pkg.Info.Selections[sel]; ok {
+				reset[s.Obj()] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package scratchreset
+
+import (
+	"testing"
+
+	"adhocradio/internal/analysis/analysistest"
+)
+
+func TestScratchreset(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", "example.com/scratch", Analyzer)
+	if len(diags) != 2 {
+		t.Errorf("got %d findings, want 2 (unreset field + missing rebuild block): %v", len(diags), diags)
+	}
+}

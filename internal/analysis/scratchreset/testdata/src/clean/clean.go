@@ -1,0 +1,31 @@
+package clean
+
+// pool resets every scratch field in its rebuild block: no findings.
+//
+//radiolint:scratch-owner
+type pool struct {
+	buf  []byte
+	idx  map[string]int
+	keep int
+}
+
+func (p *pool) reset(broken bool) {
+	if broken {
+		//radiolint:scratch-rebuild
+		p.buf = nil
+		p.idx = nil
+	}
+	if p.buf == nil {
+		p.buf = make([]byte, 0, p.keep)
+	}
+	if p.idx == nil {
+		p.idx = make(map[string]int)
+	}
+}
+
+// unmarked has no annotation, so its unreset fields are fine.
+type unmarked struct {
+	data []int
+}
+
+func (u *unmarked) use() { u.data = append(u.data, 1) }

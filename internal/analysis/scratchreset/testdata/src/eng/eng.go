@@ -1,0 +1,31 @@
+package eng
+
+// runner mirrors the engine's Runner shape: reusable scratch plus a
+// poison-rebuild branch that must reset all of it.
+//
+//radiolint:scratch-owner
+type runner struct {
+	hits    []int32
+	seen    map[int]bool
+	stale   []int // want "scratch field runner.stale is not reset"
+	size    int   // not a slice or map: out of scope
+	program func()
+}
+
+func (r *runner) ensure(n int) {
+	if r.size != 0 {
+		// A previous run unwound mid-step; trust nothing.
+		//radiolint:scratch-rebuild
+		r.hits, r.seen = nil, nil
+	}
+	if cap(r.hits) < n {
+		r.hits = make([]int32, n)
+	}
+	if r.seen == nil {
+		r.seen = make(map[int]bool, n)
+	}
+	if cap(r.stale) < n {
+		r.stale = make([]int, 0, n)
+	}
+	r.size = n
+}

@@ -1,0 +1,11 @@
+package nomark
+
+// engine declares scratch but the package has no rebuild block at all —
+// the annotation contract is half-applied, which is itself a finding.
+//
+//radiolint:scratch-owner
+type engine struct { // want "scratch owner engine has no //radiolint:scratch-rebuild block"
+	scratch []int
+}
+
+func (e *engine) run() { e.scratch = e.scratch[:0] }

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one in-memory file and runs the suppression parser on it,
+// returning the parse results for direct assertions.
+func parseSrc(t *testing.T, src string) ([]suppression, []malformedSuppression) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", []byte(src), parser.ParseComments)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return parseSuppressions(fset, f, []byte(src))
+}
+
+func TestParseSuppressionsCRLF(t *testing.T) {
+	// The same file a Windows checkout would produce: every line ends \r\n.
+	// The trailing suppression must cover only its own line; the standalone
+	// one must cover the line below despite the \r before each newline.
+	src := strings.ReplaceAll(`package p
+
+func a() {
+	bad() //radiolint:ignore nopanic trailing on crlf line
+	//radiolint:ignore detmaprange standalone on crlf line
+	worse()
+}
+`, "\n", "\r\n")
+	sups, malformed := parseSrc(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("CRLF suppressions reported malformed: %v", malformed)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(sups), sups)
+	}
+	if sups[0].lines != [2]int{4, 0} {
+		t.Errorf("trailing CRLF suppression covers %v, want line 4 only", sups[0].lines)
+	}
+	if sups[1].lines != [2]int{5, 6} {
+		t.Errorf("standalone CRLF suppression covers %v, want lines 5-6", sups[1].lines)
+	}
+}
+
+func TestParseSuppressionsCommaLists(t *testing.T) {
+	sups, malformed := parseSrc(t, `package p
+
+//radiolint:ignore nopanic,detmaprange both are deliberate here
+func a() {}
+
+//radiolint:ignore nopanic, detmaprange space splits the list
+func b() {}
+
+//radiolint:ignore nopanic,,detmaprange doubled comma
+func c() {}
+`)
+	if len(sups) != 1 || len(sups[0].passes) != 2 {
+		t.Fatalf("well-formed two-pass list not parsed: sups=%+v", sups)
+	}
+	if sups[0].passes[0] != "nopanic" || sups[0].passes[1] != "detmaprange" {
+		t.Errorf("passes = %v", sups[0].passes)
+	}
+	// "nopanic," (space after comma) and "nopanic,,detmaprange" both
+	// contain an empty pass name and must be called out, not silently
+	// matched against no pass at all.
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed reports, want 2: %v", len(malformed), malformed)
+	}
+	for _, m := range malformed {
+		if !strings.Contains(m.reason, "empty pass name") {
+			t.Errorf("malformed reason %q does not explain the empty pass name", m.reason)
+		}
+	}
+}
+
+func TestParseSuppressionsStartOfFile(t *testing.T) {
+	// A suppression on the very first line: standaloneComment must treat
+	// offset 0 as standalone (nothing precedes it), covering line 2.
+	sups, malformed := parseSrc(t, `//radiolint:ignore nopanic file-leading comment
+package p
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	if len(sups) != 1 || sups[0].lines != [2]int{1, 2} {
+		t.Fatalf("start-of-file suppression parsed as %+v, want lines 1-2", sups)
+	}
+}
+
+func TestStandaloneCommentOffsetPastSource(t *testing.T) {
+	// A position whose offset lies beyond the backing source (conceivable
+	// when positions and sources drift, e.g. a stale FileSet) must not
+	// panic and must conservatively report "not standalone".
+	src := []byte("package p\n")
+	for _, off := range []int{len(src), len(src) + 1, len(src) + 100} {
+		if off < len(src) {
+			continue
+		}
+		pos := token.Position{Filename: "x.go", Line: 1, Offset: off}
+		if off > len(src) && standaloneComment(src, pos) {
+			t.Errorf("offset %d past len(src)=%d treated as standalone", off, len(src))
+		}
+	}
+}
+
+// TestParseSuppressionsGofmtPositions pins the standalone-covers-next-line
+// rule on gofmt output: the comment is tab-indented exactly as gofmt
+// rewrites it, and the statement below is what the suppression must cover.
+func TestParseSuppressionsGofmtPositions(t *testing.T) {
+	src := "package p\n\nfunc a() {\n\t//radiolint:ignore nopanic the panic below is a documented caller-bug contract\n\tpanic(\"x\")\n}\n"
+	sups, malformed := parseSrc(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed: %v", malformed)
+	}
+	if len(sups) != 1 {
+		t.Fatalf("got %d suppressions, want 1", len(sups))
+	}
+	if sups[0].lines != [2]int{4, 5} {
+		t.Errorf("tab-indented standalone suppression covers %v, want lines 4-5", sups[0].lines)
+	}
+}
+
+// FuzzParseSuppressions drives the suppression parser with arbitrary
+// sources. The properties: never panic, never produce a suppression with
+// zero or empty pass names, and line numbers stay positive with the
+// next-line extension being exactly +1.
+func FuzzParseSuppressions(f *testing.F) {
+	seeds := []string{
+		"package p\n",
+		"//radiolint:ignore nopanic reason\npackage p\n",
+		"package p\n\nfunc a() { bad() } //radiolint:ignore nopanic trailing\n",
+		"package p\n//radiolint:ignore\n",
+		"package p\n//radiolint:ignore nopanic\n",
+		"package p\n//radiolint:ignore a,b reason\n",
+		"package p\n//radiolint:ignore a,, reason\n",
+		strings.ReplaceAll("package p\n\n//radiolint:ignore x y\nfunc a() {}\n", "\n", "\r\n"),
+		"package p\n/*radiolint:ignore*/\n",
+		"package p\n//radiolint:ignore   nbsp\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil || file == nil {
+			return
+		}
+		sups, malformed := parseSuppressions(fset, file, src)
+		for _, s := range sups {
+			if len(s.passes) == 0 {
+				t.Fatalf("suppression with no passes: %+v", s)
+			}
+			for _, name := range s.passes {
+				if name == "" {
+					t.Fatalf("suppression with empty pass name: %+v", s)
+				}
+			}
+			if s.lines[0] < 1 {
+				t.Fatalf("suppression on non-positive line: %+v", s)
+			}
+			if s.lines[1] != 0 && s.lines[1] != s.lines[0]+1 {
+				t.Fatalf("next-line extension is not +1: %+v", s)
+			}
+		}
+		for _, m := range malformed {
+			if m.pos.Line < 1 {
+				t.Fatalf("malformed report on non-positive line: %+v", m)
+			}
+			if m.reason == "" {
+				t.Fatalf("malformed report without a reason")
+			}
+		}
+	})
+}

@@ -1,0 +1,10 @@
+// Package aa is the dependency half of the framework test fixture: the
+// facts test exports a fact on A here and imports it from package bb.
+package aa
+
+// A is the object the test fact rides on.
+func A() int { return 1 }
+
+// Unexported is here so tests can check facts are per-object, not
+// per-package.
+func unexported() int { return 2 }

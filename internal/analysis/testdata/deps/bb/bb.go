@@ -1,0 +1,8 @@
+// Package bb imports aa, so the analysis scheduler must finish aa first
+// and the fact exported on aa.A must be visible here.
+package bb
+
+import "example.com/deps/aa"
+
+// B uses aa.A; the facts test finds the use and imports the fact.
+func B() int { return aa.A() }

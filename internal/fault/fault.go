@@ -51,6 +51,12 @@ import (
 // Plan describes a composable set of fault models. The zero value injects
 // no faults. Plans are plain data: the same Plan (same Seed) always yields
 // the same fault pattern, so runs are replayable.
+//
+// The mirror marker makes the mirrorref pass hold the optimized engine and
+// the RunReference* oracles to the CONTRIBUTING.md rule above: any member
+// the engine consults must be consulted by the reference too.
+//
+//radiolint:mirror
 type Plan struct {
 	// Seed drives every fault decision. Harnesses derive it from their
 	// master seed and trial index (rng.NewStream(seed, trial).Uint64()) so
@@ -157,6 +163,8 @@ const (
 // crash/sleep schedules plus the per-purpose keys for the step-level
 // decisions. A State is reusable across runs via Reset and is safe for
 // concurrent readers once reset (all methods are pure reads).
+//
+//radiolint:mirror
 type State struct {
 	plan Plan
 	n    int
@@ -235,6 +243,8 @@ func (s *State) N() int { return s.n }
 // NodeDown reports whether node v is dead at step t: crashed for good, or
 // in the sleeping part of its duty cycle. A down node neither transmits nor
 // receives; its program is simply not consulted that step.
+//
+//radiolint:hotpath
 func (s *State) NodeDown(t, v int) bool {
 	if at := s.crashAt[v]; at != 0 && int32(t) >= at {
 		return true
@@ -250,6 +260,8 @@ func (s *State) NodeDown(t, v int) bool {
 // Crashed reports whether node v is permanently dead at step t (sleep-wake
 // naps excluded). Harnesses use it to score informed fractions among nodes
 // that could still have been reached.
+//
+//radiolint:hotpath
 func (s *State) Crashed(t, v int) bool {
 	at := s.crashAt[v]
 	return at != 0 && int32(t) >= at
@@ -258,6 +270,8 @@ func (s *State) Crashed(t, v int) bool {
 // LinkDown reports whether the directed arc u->v is unusable at step t,
 // either through per-step loss or because the pair {u,v} is churned out for
 // the current window. The decision is a pure function of (seed, t, u, v).
+//
+//radiolint:hotpath
 func (s *State) LinkDown(t, u, v int) bool {
 	if p := s.plan.LinkLoss; p > 0 {
 		if chance(s.lossKey, uint64(t), uint64(u)<<32|uint64(v)) < p {
@@ -279,11 +293,15 @@ func (s *State) LinkDown(t, u, v int) bool {
 
 // JammerNodes returns the compiled jammer host list (empty when jamming is
 // off). The slice is owned by the State; callers must not modify it.
+//
+//radiolint:mirror-exempt iteration accelerator for the CSR engine; the naive oracle probes every in-neighbor through JamAt, which carries the semantics
 func (s *State) JammerNodes() []int32 { return s.jammers }
 
 // JamAt reports whether the device hosted at node u transmits noise in step
 // t. It is false for nodes that host no jammer, so naive oracles may probe
 // every in-neighbor.
+//
+//radiolint:hotpath
 func (s *State) JamAt(t, u int) bool {
 	if !s.isJam[u] {
 		return false
@@ -293,6 +311,8 @@ func (s *State) JamAt(t, u int) bool {
 
 // mix64 is the SplitMix64 output finalizer (same constants as internal/rng
 // uses for seeding): a cheap bijective avalanche over one word.
+//
+//radiolint:hotpath
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -303,6 +323,8 @@ func mix64(z uint64) uint64 {
 // (key, a, b). Unlike a sequential rng.Source, it has no call-order state:
 // both simulator implementations get the same draw for the same (step,
 // node/arc) identifier no matter when — or whether — the other one asks.
+//
+//radiolint:hotpath
 func chance(key, a, b uint64) float64 {
 	z := mix64(key ^ (a+1)*0x9e3779b97f4a7c15)
 	z = mix64(z ^ (b+1)*0xd1342543de82ef95)

@@ -30,6 +30,11 @@ import (
 // harnesses give each worker its own Runner (or draw from a pool); the
 // simulation itself stays deterministic because a Runner carries no state
 // across runs that a Result could observe.
+//
+// Every slice/map field below is scratch and must be reset by the poison
+// branch in ensure (see the scratchreset pass).
+//
+//radiolint:scratch-owner
 type Runner struct {
 	// Per-node scratch, grown to the largest graph seen. Between runs (and
 	// between steps) hits and transmitted are all-zero/false; every step
@@ -88,6 +93,8 @@ func (r *Runner) Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Resu
 // slice when the capacity suffices — the zero-allocation entry point for
 // tight trial loops. On a step-limit error the partially-filled Result is
 // left in place; on validation errors res is untouched.
+//
+//radiolint:hotpath
 func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, opt Options) error {
 	n := g.N()
 	if n == 0 {
@@ -285,6 +292,8 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 // dropped arc contributes no hit; jam noise turns a single legitimate hit
 // into a collision but is itself indistinguishable from silence, so noise
 // with zero legitimate hits produces no event at all.
+//
+//radiolint:hotpath
 func (r *Runner) tallyFaulty(t, n int, outOff, outAdj []int32, fs *fault.State, allNil bool) {
 	hits, lastFrom := r.hits, r.lastFrom
 	dirty := r.dirty[:0]
@@ -334,6 +343,8 @@ func (r *Runner) tallyFaulty(t, n int, outOff, outAdj []int32, fs *fault.State, 
 // receiver's single hit is destroyed by the noise and becomes a collision.
 // allNil short-circuits payload handling when no transmitter attached one
 // this step.
+//
+//radiolint:hotpath
 func (r *Runner) deliver(t, v int, h int32, jammed, allNil bool) {
 	switch {
 	case h == 1 && !jammed:
@@ -392,9 +403,13 @@ func (r *Runner) ensure(n int, opt Options) {
 	if r.running {
 		// The previous run unwound mid-step (a panicking program); the
 		// between-steps all-zero invariant on hits/transmitted may not
-		// hold, so rebuild rather than trust it.
+		// hold, so rebuild every scratch buffer rather than trust any of
+		// them — the sizing code below re-allocates on demand.
+		//radiolint:scratch-rebuild
 		r.hits, r.lastFrom, r.transmitted, r.dirty = nil, nil, nil, nil
 		r.jammed, r.jamDirty = nil, nil
+		r.programs, r.active = nil, nil
+		r.transmitters, r.payloads, r.receptions = nil, nil, nil
 	}
 	r.running = true
 	if cap(r.hits) < n {

@@ -31,6 +31,8 @@ import (
 // Section 1.3: each node knows its own label and the bound R such that all
 // labels are in {0,...,R} (R is linear in n). Seed drives all protocol
 // randomness; deterministic protocols ignore it.
+//
+//radiolint:mirror
 type Config struct {
 	// N is the number of nodes. Protocols faithful to the paper must not
 	// depend on it beyond deriving R; it is provided for harness use.
@@ -141,16 +143,30 @@ type NeighborAwareProtocol interface {
 }
 
 // Options control a simulation run.
+//
+// The struct carries the mirror marker so any future engine-consulted knob
+// must either reach the RunReference* oracles too or carry an explicit
+// exemption. The oracle deliberately has no Options parameter — it takes
+// maxSteps and the fault plan as plain arguments — so today every field is
+// exempt, each for its own stated reason.
+//
+//radiolint:mirror
 type Options struct {
 	// MaxSteps bounds the run; 0 selects a generous default based on n.
 	// Negative values are a validation error.
+	//
+	//radiolint:mirror-exempt the oracle takes maxSteps as an explicit parameter with the same zero-means-default rule
 	MaxSteps int
 	// RunToMaxSteps, when true, keeps simulating after every node is
 	// informed (some protocols have post-completion behaviour worth
 	// tracing). The default stops at completion.
+	//
+	//radiolint:mirror-exempt post-completion simulation is engine-only tracing; the differential battery stops both sides at completion
 	RunToMaxSteps bool
 	// CollisionDetection enables the model variant where listeners that
 	// implement CollisionListener are told about collisions.
+	//
+	//radiolint:mirror-exempt the oracle supports the core model only and is never run with collision-detection protocols
 	CollisionDetection bool
 	// Fault attaches a deterministic fault-injection plan (link loss,
 	// topology churn, jammers, crash and sleep-wake schedules — see
@@ -158,8 +174,12 @@ type Options struct {
 	// untouched. Every fault model is implemented identically in the naive
 	// RunReference oracle (RunReferenceWithFaults), so the differential
 	// battery gates the faulty paths too.
+	//
+	//radiolint:mirror-exempt the oracle takes the plan as an explicit parameter; the plan's own members are mirror-checked
 	Fault *fault.Plan
 	// Trace, if non-nil, receives one event per step. Keep it cheap.
+	//
+	//radiolint:mirror-exempt tracing is observability, not model semantics; Result fields carry everything the comparison needs
 	Trace TraceFunc
 }
 
