@@ -20,11 +20,21 @@ BENCH_DIR ?= bench-out
 # with the stdlib-only delta printer (cmd/benchdelta — no benchstat dep).
 # Refresh the baseline with `make bench-save` after a deliberate perf change
 # and commit the new file alongside bench/BENCH_simcore.json.
+# BENCHDELTA_FLAGS turns the report into a gate: CI's bench-regression
+# workflow passes "-fail-over 10 -metric ns/step" so a >10% hot-loop
+# slowdown fails the job.
 BENCH_BASELINE ?= bench/simcore-baseline.txt
 BENCH_COUNT ?= 5
+BENCHDELTA_FLAGS ?=
+
+# Coverage profile and the per-package floors CI enforces (cmd/covercheck).
+# internal/obs is the observability layer every engine counter flows
+# through; it stays thoroughly tested or the ledger cannot be trusted.
+COVER_PROFILE ?= cover.out
+COVER_FLOORS ?= adhocradio/internal/obs=85
 
 .PHONY: check build test vet radiolint lint-baseline race race-full fmt-check \
-	bench-smoke bench-compare bench-save fuzz-smoke
+	bench-smoke bench-compare bench-save fuzz-smoke cover
 
 check: build vet fmt-check radiolint test race
 
@@ -55,21 +65,42 @@ race-full:
 # A quick-scale end-to-end run of the whole experiment registry: parallel
 # across all cores, shape checks enforced (-verify exits non-zero on a
 # qualitative-claim regression), machine-readable record left in BENCH_DIR.
+#
+# The benchmark capture deliberately avoids `cmd | tee file`: in POSIX sh a
+# pipeline's status is the LAST command's, so tee used to swallow go test
+# failures and the targets went green on broken benchmarks. Redirect first,
+# then cat — the file is still captured for the CI artifact, failures still
+# print their output, and the exit status is go test's.
 bench-smoke:
+	@mkdir -p $(BENCH_DIR)
 	$(GO) run ./cmd/radiobench -quick -parallel 0 -verify -json $(BENCH_DIR)
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/radio/... \
-		| tee $(BENCH_DIR)/microbench-smoke.txt
+		> $(BENCH_DIR)/microbench-smoke.txt 2>&1 \
+		|| { cat $(BENCH_DIR)/microbench-smoke.txt; exit 1; }
+	@cat $(BENCH_DIR)/microbench-smoke.txt
 
 bench-compare:
 	@mkdir -p $(BENCH_DIR)
 	$(GO) test -run=NONE -bench=. -count=$(BENCH_COUNT) ./internal/radio/ \
-		| tee $(BENCH_DIR)/simcore-current.txt
-	$(GO) run ./cmd/benchdelta $(BENCH_BASELINE) $(BENCH_DIR)/simcore-current.txt
+		> $(BENCH_DIR)/simcore-current.txt 2>&1 \
+		|| { cat $(BENCH_DIR)/simcore-current.txt; exit 1; }
+	@cat $(BENCH_DIR)/simcore-current.txt
+	$(GO) run ./cmd/benchdelta $(BENCHDELTA_FLAGS) $(BENCH_BASELINE) $(BENCH_DIR)/simcore-current.txt
 
+# The committed baseline stays stderr-free (stderr goes to the console), so
+# a stray build warning can never pollute the comparison reference.
 bench-save:
 	@mkdir -p $(dir $(BENCH_BASELINE))
 	$(GO) test -run=NONE -bench=. -count=$(BENCH_COUNT) ./internal/radio/ \
-		| tee $(BENCH_BASELINE)
+		> $(BENCH_BASELINE) \
+		|| { cat $(BENCH_BASELINE); exit 1; }
+	@cat $(BENCH_BASELINE)
+
+# Whole-repo coverage with per-package floors. The profile is left behind
+# for the CI artifact; covercheck exits non-zero when a floor is missed.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	$(GO) run ./cmd/covercheck -profile $(COVER_PROFILE) $(COVER_FLOORS)
 
 # A short differential-fuzzing pass over the optimized engine vs the naive
 # reference, including fault-injected inputs. The committed corpus under

@@ -7,15 +7,21 @@
 // Usage:
 //
 //	go run ./cmd/benchdelta old.txt new.txt
+//	go run ./cmd/benchdelta -fail-over 10 -metric ns/step old.txt new.txt
 //	make bench-compare        # captures and compares for you
 //
-// Exit status is 0 even on regressions — the tool reports, humans judge;
-// use the committed bench/BENCH_*.json records for the authoritative
-// before/after story.
+// By default exit status is 0 even on regressions — the tool reports,
+// humans judge; use the committed bench/BENCH_*.json records for the
+// authoritative before/after story. With -fail-over P (percent, > 0) the
+// tool becomes a CI gate: it exits 1 when any benchmark's mean for a gated
+// metric (-metric, comma-separated units, default ns/step) grew by more
+// than P percent. All gated units are cost-like — ns/op, ns/step, B/op,
+// allocs/op — so "grew" is always "worse".
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -161,16 +167,19 @@ func fmtVal(v float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta OLD NEW   (two `go test -bench` output files)")
+	failOver := flag.Float64("fail-over", 0, "exit 1 when a gated metric's mean regressed by more than this percent (0 = report only)")
+	metric := flag.String("metric", "ns/step", "comma-separated units the -fail-over gate applies to")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-fail-over PCT] [-metric UNITS] OLD NEW   (two `go test -bench` output files)")
 		os.Exit(2)
 	}
-	old, err := parseBench(os.Args[1])
+	old, err := parseBench(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdelta:", err)
 		os.Exit(1)
 	}
-	niw, err := parseBench(os.Args[2])
+	niw, err := parseBench(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdelta:", err)
 		os.Exit(1)
@@ -178,6 +187,60 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	writeDelta(w, old, niw)
 	w.Flush()
+	if *failOver > 0 {
+		if regs := regressionsOver(old, niw, gatedUnits(*metric), *failOver); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchdelta: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// gatedUnits parses the -metric flag into a unit set.
+func gatedUnits(metric string) map[string]bool {
+	units := map[string]bool{}
+	for _, u := range strings.Split(metric, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units[u] = true
+		}
+	}
+	return units
+}
+
+// regressionsOver returns one description per benchmark metric whose mean
+// grew by more than failOver percent between old and new. Metrics outside
+// the gated unit set, and benchmarks present in only one file, are not
+// gated — a renamed benchmark should not hard-fail CI, the table already
+// shows it.
+func regressionsOver(old, niw *benchFile, units map[string]bool, failOver float64) []string {
+	var regs []string
+	names := append([]string{}, old.order...)
+	for _, n := range niw.order {
+		if !old.seen[n] {
+			names = append(names, n)
+		}
+	}
+	for _, name := range names {
+		for _, unit := range unitsFor(name, old, niw) {
+			if !units[unit] {
+				continue
+			}
+			key := name + "\t" + unit
+			so, haveOld := old.metrics[key]
+			sn, haveNew := niw.metrics[key]
+			if !haveOld || !haveNew || so.mean() <= 0 {
+				continue
+			}
+			pct := 100 * (sn.mean() - so.mean()) / so.mean()
+			if pct > failOver {
+				regs = append(regs, fmt.Sprintf("%s %s: %s -> %s (%+.1f%% > +%.1f%%)",
+					strings.TrimPrefix(name, "Benchmark"), unit,
+					fmtVal(so.mean()), fmtVal(sn.mean()), pct, failOver))
+			}
+		}
+	}
+	return regs
 }
 
 // writeDelta renders the old-vs-new table. Both files are known non-empty

@@ -143,3 +143,38 @@ func TestWriteDelta(t *testing.T) {
 		t.Errorf("benchmark name mangled:\n%s", out)
 	}
 }
+
+// TestRegressionsOver: the CI gate fires only on gated units, only past the
+// threshold, and never on benchmarks present in just one file.
+func TestRegressionsOver(t *testing.T) {
+	old, err := parseBench(writeTemp(t,
+		"BenchmarkHot-8 10 100 ns/step\nBenchmarkCold-8 10 100 ns/op\nBenchmarkGone-8 10 5 ns/step\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	niw, err := parseBench(writeTemp(t,
+		"BenchmarkHot-8 10 125 ns/step\nBenchmarkCold-8 10 500 ns/op\nBenchmarkNew-8 10 7 ns/step\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := regressionsOver(old, niw, gatedUnits("ns/step"), 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "Hot") || !strings.Contains(regs[0], "+25.0%") {
+		t.Fatalf("regs = %v, want exactly the Hot ns/step regression", regs)
+	}
+	// Above the threshold: no failure.
+	if regs := regressionsOver(old, niw, gatedUnits("ns/step"), 30); len(regs) != 0 {
+		t.Fatalf("30%% threshold still fired: %v", regs)
+	}
+	// Gating ns/op too catches the Cold regression.
+	if regs := regressionsOver(old, niw, gatedUnits("ns/step,ns/op"), 10); len(regs) != 2 {
+		t.Fatalf("two-unit gate found %v", regs)
+	}
+}
+
+// TestGatedUnits: comma-separated unit parsing trims blanks and spaces.
+func TestGatedUnits(t *testing.T) {
+	u := gatedUnits(" ns/step, ns/op ,,allocs/op")
+	if len(u) != 3 || !u["ns/step"] || !u["ns/op"] || !u["allocs/op"] {
+		t.Fatalf("gatedUnits = %v", u)
+	}
+}

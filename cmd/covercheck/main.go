@@ -1,0 +1,198 @@
+// Command covercheck enforces per-package statement-coverage floors on a Go
+// coverprofile. It is the stdlib-only gate behind CI's coverage job (the
+// repository takes no external dependencies): `go test -coverprofile` emits
+// the profile, covercheck aggregates it per package and fails the build when
+// a named package falls under its floor.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/covercheck -profile cover.out adhocradio/internal/obs=85
+//
+// Each positional argument is <package-path>=<min-percent>. A requirement
+// covers the named import path and everything under it, so
+// "adhocradio/internal/experiment=70" includes the pool subpackage. A
+// requirement that matches nothing in the profile is an error, not a pass —
+// otherwise a typo would silently disable the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	total   int64 // statements in the package
+	covered int64 // statements hit at least once
+}
+
+func (p pkgCover) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// requirement is one parsed pkg=minpct argument.
+type requirement struct {
+	pkg string
+	min float64
+}
+
+func parseRequirement(arg string) (requirement, error) {
+	pkg, pct, ok := strings.Cut(arg, "=")
+	if !ok || pkg == "" {
+		return requirement{}, fmt.Errorf("requirement %q is not <package>=<min-percent>", arg)
+	}
+	min, err := strconv.ParseFloat(pct, 64)
+	if err != nil || min < 0 || min > 100 {
+		return requirement{}, fmt.Errorf("requirement %q: %q is not a percentage in [0, 100]", arg, pct)
+	}
+	return requirement{pkg: strings.TrimSuffix(pkg, "/"), min: min}, nil
+}
+
+// parseProfile reads a coverprofile and aggregates statement coverage per
+// package (the directory of each file). Duplicate blocks — merged profiles
+// repeat them — are deduplicated by block position, ORing their hit state,
+// so a block counts once however many runs touched it.
+func parseProfile(profilePath string) (map[string]pkgCover, error) {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type block struct {
+		stmts int64
+		hit   bool
+	}
+	blocks := map[string]block{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		// file.go:12.34,15.2 numStatements hitCount
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed coverage line %q", profilePath, line, text)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count %q", profilePath, line, fields[1])
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count %q", profilePath, line, fields[2])
+		}
+		b := blocks[fields[0]]
+		b.stmts = stmts
+		b.hit = b.hit || hits > 0
+		blocks[fields[0]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%s: no coverage blocks found (is this really a coverprofile?)", profilePath)
+	}
+	pkgs := map[string]pkgCover{}
+	for key, b := range blocks {
+		file, _, ok := strings.Cut(key, ":")
+		if !ok {
+			continue
+		}
+		pkg := path.Dir(file)
+		pc := pkgs[pkg]
+		pc.total += b.stmts
+		if b.hit {
+			pc.covered += b.stmts
+		}
+		pkgs[pkg] = pc
+	}
+	return pkgs, nil
+}
+
+// coverageFor aggregates every profiled package at or under the required
+// import path. The bool reports whether anything matched.
+func coverageFor(pkgs map[string]pkgCover, req string) (pkgCover, bool) {
+	var agg pkgCover
+	found := false
+	for pkg, pc := range pkgs {
+		if pkg == req || strings.HasPrefix(pkg, req+"/") {
+			agg.total += pc.total
+			agg.covered += pc.covered
+			found = true
+		}
+	}
+	return agg, found
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "coverprofile to check")
+	list := fs.Bool("list", false, "also print every profiled package's coverage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no requirements given; usage: covercheck [-profile cover.out] <package>=<min-percent> ...")
+	}
+	reqs := make([]requirement, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		r, err := parseRequirement(arg)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, r)
+	}
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	if *list {
+		names := make([]string, 0, len(pkgs))
+		for pkg := range pkgs {
+			names = append(names, pkg)
+		}
+		sort.Strings(names)
+		for _, pkg := range names {
+			fmt.Fprintf(stdout, "%-56s %6.1f%% (%d/%d statements)\n",
+				pkg, pkgs[pkg].percent(), pkgs[pkg].covered, pkgs[pkg].total)
+		}
+	}
+	var failures []string
+	for _, r := range reqs {
+		pc, found := coverageFor(pkgs, r.pkg)
+		if !found {
+			return fmt.Errorf("requirement %s=%.1f matches no package in %s (typo, or the package was not tested with -coverprofile)", r.pkg, r.min, *profile)
+		}
+		status := "ok"
+		if pc.percent() < r.min {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < %.1f%%", r.pkg, pc.percent(), r.min))
+		}
+		fmt.Fprintf(stdout, "%-56s %6.1f%% (floor %.1f%%) %s\n", r.pkg, pc.percent(), r.min, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("coverage below floor: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProfile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sampleProfile = `mode: set
+adhocradio/internal/obs/counters.go:10.2,14.3 4 1
+adhocradio/internal/obs/counters.go:16.2,18.3 2 0
+adhocradio/internal/obs/hist.go:5.2,9.3 6 1
+adhocradio/internal/experiment/pool/pool.go:20.2,25.3 8 1
+adhocradio/internal/experiment/runner.go:7.2,9.3 4 0
+`
+
+func TestParseProfile(t *testing.T) {
+	pkgs, err := parseProfile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := pkgs["adhocradio/internal/obs"]
+	if obs.total != 12 || obs.covered != 10 {
+		t.Fatalf("obs coverage = %+v, want 10/12", obs)
+	}
+	pool := pkgs["adhocradio/internal/experiment/pool"]
+	if pool.total != 8 || pool.covered != 8 {
+		t.Fatalf("pool coverage = %+v, want 8/8", pool)
+	}
+	if got := obs.percent(); got < 83.3 || got > 83.4 {
+		t.Fatalf("obs percent = %v", got)
+	}
+}
+
+func TestParseProfileDeduplicatesMergedBlocks(t *testing.T) {
+	// The same block from two merged runs: once missed, once hit. It must
+	// count a single time, as covered.
+	pkgs, err := parseProfile(writeProfile(t, `mode: count
+p/x.go:1.1,2.2 5 0
+p/x.go:1.1,2.2 5 3
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc := pkgs["p"]; pc.total != 5 || pc.covered != 5 {
+		t.Fatalf("merged block coverage = %+v, want 5/5", pc)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := parseProfile(writeProfile(t, "mode: set\n")); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := parseProfile(writeProfile(t, "mode: set\nnot a coverage line\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := parseProfile(filepath.Join(t.TempDir(), "nope.out")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseRequirement(t *testing.T) {
+	r, err := parseRequirement("adhocradio/internal/obs=85")
+	if err != nil || r.pkg != "adhocradio/internal/obs" || r.min != 85 {
+		t.Fatalf("parseRequirement = %+v, %v", r, err)
+	}
+	for _, bad := range []string{"nopct", "=50", "pkg=", "pkg=abc", "pkg=150", "pkg=-1"} {
+		if _, err := parseRequirement(bad); err == nil {
+			t.Fatalf("requirement %q accepted", bad)
+		}
+	}
+}
+
+func TestCoverageForAggregatesSubpackages(t *testing.T) {
+	pkgs, err := parseProfile(writeProfile(t, sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, found := coverageFor(pkgs, "adhocradio/internal/experiment")
+	if !found || agg.total != 12 || agg.covered != 8 {
+		t.Fatalf("experiment aggregate = %+v found=%v, want 8/12", agg, found)
+	}
+	if _, found := coverageFor(pkgs, "adhocradio/internal/experimentX"); found {
+		t.Fatal("prefix match must respect path boundaries")
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	p := writeProfile(t, sampleProfile)
+	// obs is at 10/12 ≈ 83.3%: a floor of 80 passes, 85 fails.
+	if err := run([]string{"-profile", p, "adhocradio/internal/obs=80"}, os.Stdout); err != nil {
+		t.Fatalf("passing floor failed: %v", err)
+	}
+	err := run([]string{"-profile", p, "adhocradio/internal/obs=85"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("failing floor: err = %v", err)
+	}
+	// A requirement matching nothing is an error, not a silent pass.
+	err = run([]string{"-profile", p, "adhocradio/internal/nosuch=10"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "matches no package") {
+		t.Fatalf("unmatched requirement: err = %v", err)
+	}
+	if err := run([]string{"-profile", p}, os.Stdout); err == nil {
+		t.Fatal("no requirements accepted")
+	}
+}

@@ -11,10 +11,18 @@
 //	radiobench -csv out/       # additionally write one CSV per table
 //	radiobench -json out/      # additionally write out/BENCH_<runid>.json
 //	radiobench -verify         # assert the paper's qualitative claims
+//	radiobench -cpuprofile cpu.pprof        # capture a CPU profile
+//	radiobench -memprofile mem.pprof        # heap profile at exit
+//	radiobench -goroutineprofile grt.pprof  # goroutine dump at exit
 //
 // The experiment engine derives every random stream from (seed, point/trial
 // index), so the tables — and the deterministic portion of the JSON — are
 // bit-identical for every -parallel value; workers only change wall time.
+// The JSON record embeds a run manifest (toolchain, host shape, VCS
+// revision, effective flags) and, per experiment, the aggregated engine
+// counters plus per-trial wall-time statistics; benchjson.Canonical keeps
+// the counters (deterministic) and strips everything timing- or
+// environment-shaped.
 //
 // SIGINT cancels the run between measurement points: completed tables are
 // still written, and the JSON record is emitted with "interrupted": true.
@@ -30,12 +38,15 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"adhocradio"
 	"adhocradio/internal/experiment"
 	"adhocradio/internal/experiment/benchjson"
+	"adhocradio/internal/obs"
 )
 
 func main() {
@@ -48,15 +59,36 @@ func main() {
 // options carries the resolved flag values; run parses them from the
 // command line, tests drive runWith directly.
 type options struct {
-	only     string
-	quick    bool
-	trials   int
-	seed     uint64
-	parallel int
-	csvDir   string
-	jsonDir  string
-	runID    string
-	verify   bool
+	only             string
+	quick            bool
+	trials           int
+	seed             uint64
+	parallel         int
+	csvDir           string
+	jsonDir          string
+	runID            string
+	verify           bool
+	cpuProfile       string
+	memProfile       string
+	goroutineProfile string
+}
+
+// flagMap renders the resolved options for the run manifest.
+func (o options) flagMap() map[string]string {
+	m := map[string]string{
+		"quick":    strconv.FormatBool(o.quick),
+		"seed":     strconv.FormatUint(o.seed, 10),
+		"trials":   strconv.Itoa(o.trials),
+		"parallel": strconv.Itoa(o.parallel),
+		"verify":   strconv.FormatBool(o.verify),
+	}
+	if o.only != "" {
+		m["only"] = o.only
+	}
+	if o.runID != "" {
+		m["runid"] = o.runID
+	}
+	return m
 }
 
 func run() error {
@@ -70,6 +102,9 @@ func run() error {
 	flag.StringVar(&o.jsonDir, "json", "", "directory to write the BENCH_<runid>.json record (created if missing)")
 	flag.StringVar(&o.runID, "runid", "", "run identifier for the JSON file name (default: <quick|full>_seed<seed>)")
 	flag.BoolVar(&o.verify, "verify", false, "assert the paper's qualitative claims on each table (scale-sensitive checks are skipped under -quick)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	flag.StringVar(&o.goroutineProfile, "goroutineprofile", "", "write a goroutine profile to this file at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -80,8 +115,40 @@ func run() error {
 // runWith executes the experiment sweep. A cancelled ctx (SIGINT in normal
 // operation) stops the run between measurement points: completed tables are
 // still rendered and written, the JSON record carries "interrupted": true,
-// and the returned error is non-nil so the process exits non-zero.
+// and the returned error is non-nil so the process exits non-zero. Profiles
+// are flushed before any exit path so an interrupted or shape-failed run
+// still yields usable captures.
 func runWith(ctx context.Context, o options, stdout io.Writer) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if o.memProfile != "" || o.goroutineProfile != "" {
+		defer func() {
+			if o.memProfile != "" {
+				runtime.GC() // settle the heap so the profile reflects live data
+				if err := writeProfile("heap", o.memProfile); err != nil {
+					fmt.Fprintln(os.Stderr, "radiobench:", err)
+				}
+			}
+			if o.goroutineProfile != "" {
+				if err := writeProfile("goroutine", o.goroutineProfile); err != nil {
+					fmt.Fprintln(os.Stderr, "radiobench:", err)
+				}
+			}
+		}()
+	}
+
 	want := map[string]bool{}
 	if o.only != "" {
 		for _, id := range strings.Split(o.only, ",") {
@@ -112,15 +179,14 @@ func runWith(ctx context.Context, o options, stdout io.Writer) error {
 		id = fmt.Sprintf("%s_seed%d", mode, o.seed)
 	}
 	record := &benchjson.Run{
-		Schema:     benchjson.SchemaVersion,
-		ID:         id,
-		Seed:       o.seed,
-		Quick:      o.quick,
-		Trials:     o.trials,
-		Parallel:   o.parallel,
-		Workers:    workers,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema:   benchjson.SchemaVersion,
+		ID:       id,
+		Seed:     o.seed,
+		Quick:    o.quick,
+		Trials:   o.trials,
+		Parallel: o.parallel,
+		Workers:  workers,
+		Manifest: benchjson.NewManifest(o.flagMap()),
 	}
 	record.Experiments = []benchjson.Experiment{}
 
@@ -130,6 +196,7 @@ func runWith(ctx context.Context, o options, stdout io.Writer) error {
 	)
 	totalStart := time.Now()
 	totalCPU := cpuTime()
+	obs.Default.Take() // start the per-experiment counter windows clean
 	for _, e := range adhocradio.Experiments() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
@@ -156,6 +223,14 @@ func runWith(ctx context.Context, o options, stdout io.Writer) error {
 			WallMS: time.Since(start).Milliseconds(),
 			CPUMS:  (cpuTime() - cpu0).Milliseconds(),
 		}
+		// Drain the observability recorder: everything accumulated since the
+		// previous drain belongs to this experiment (the sweep is sequential;
+		// only trials inside one experiment run concurrently).
+		counters, trialHist := obs.Default.Take()
+		if !counters.IsZero() {
+			je.Counters = &counters
+		}
+		je.TrialStats = benchjson.TrialStatsFrom(trialHist)
 		if o.verify {
 			je.ShapeCheck = checkShape(e.ID, tab, o.quick)
 			switch {
@@ -227,6 +302,26 @@ func writeCSV(path string, tab *experiment.Table) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("writing csv %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeProfile dumps the named runtime/pprof profile to path.
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("writing %s profile: unknown profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing %s profile: %w", name, err)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s profile %s: %w", name, path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s profile %s: %w", name, path, err)
 	}
 	return nil
 }

@@ -1,5 +1,6 @@
 // Package nogoroutine forbids goroutines and channel operations inside the
-// simulator core: internal/radio, internal/fault and internal/exact.
+// simulator core: internal/radio, internal/fault, internal/exact and
+// internal/obs.
 //
 // Determinism in this repository lives in exactly one place — the
 // experiment worker pool (internal/experiment/pool), whose index-sharded
@@ -33,8 +34,11 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scoped are the package path segments (under internal/) that form the
-// sequential simulator core.
-var scoped = []string{"radio", "fault", "exact"}
+// sequential simulator core. internal/obs is included: its recorder is
+// shared across pool workers but synchronizes with a plain mutex over
+// commutative integer adds — goroutines or channels inside it would smuggle
+// scheduling order into the counter ledger the differential gates compare.
+var scoped = []string{"radio", "fault", "exact", "obs"}
 
 func inScope(path string) bool {
 	if !analysis.HasSegment(path, "internal") {

@@ -22,6 +22,7 @@ func TestScope(t *testing.T) {
 		{"adhocradio/internal/radio/radiotest", true},
 		{"adhocradio/internal/fault", true},
 		{"adhocradio/internal/exact", true},
+		{"adhocradio/internal/obs", true},
 		{"adhocradio/internal/experiment/pool", false},
 		{"adhocradio/cmd/radiobench", false},
 		{"adhocradio/internal/graph", false},

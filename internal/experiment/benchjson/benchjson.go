@@ -19,13 +19,99 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 
 	"adhocradio/internal/experiment"
+	"adhocradio/internal/obs"
 )
 
 // SchemaVersion identifies the encoding; see the package comment for the
 // evolution rule.
-const SchemaVersion = 1
+//
+// v2: the run environment moved from loose top-level fields (go_version,
+// gomaxprocs) into an explicit Manifest, and experiments gained aggregated
+// engine Counters (deterministic, kept by Canonical) and per-trial wall-time
+// TrialStats (observational, stripped like Timing).
+const SchemaVersion = 2
+
+// Manifest records the provenance of a run: the toolchain, the host shape,
+// the build's VCS state, and the effective command-line flags. Everything in
+// it describes the environment, not the workload, so Canonical strips it
+// whole.
+type Manifest struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// VCSRevision is the vcs.revision build setting (empty for builds
+	// without embedded VCS info, e.g. `go run` from a dirty cache).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSModified reports vcs.modified: the working tree was dirty.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+	// Flags is the resolved flag set of the producing command. Go's JSON
+	// encoder sorts map keys, so the encoding stays deterministic.
+	Flags map[string]string `json:"flags,omitempty"`
+}
+
+// NewManifest captures the current process environment. VCS fields come
+// from debug.ReadBuildInfo — no git subprocess, so this works in containers
+// without git and in test binaries (where the fields simply stay empty).
+func NewManifest(flags map[string]string) *Manifest {
+	m := &Manifest{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Flags:      flags,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// TrialStats summarizes the per-trial wall-time histogram of one experiment:
+// how long individual pool trials took, independent of the worker count that
+// interleaved them. Like Timing it is observational and stripped by
+// Canonical.
+type TrialStats struct {
+	Trials  int64 `json:"trials"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+	// P50NS and P95NS are log2-bucket upper bounds (see obs.Hist), not
+	// exact order statistics.
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+}
+
+// TrialStatsFrom projects an obs.Hist into the schema form (nil when the
+// histogram is empty, so quiet experiments carry no field at all).
+func TrialStatsFrom(h obs.Hist) *TrialStats {
+	if h.Count == 0 {
+		return nil
+	}
+	return &TrialStats{
+		Trials:  h.Count,
+		TotalNS: h.TotalNS,
+		MinNS:   h.MinNS,
+		MaxNS:   h.MaxNS,
+		MeanNS:  h.MeanNS(),
+		P50NS:   h.ApproxQuantileNS(0.50),
+		P95NS:   h.ApproxQuantileNS(0.95),
+	}
+}
 
 // Timing records wall-clock and CPU time for a run or a single experiment.
 // Timing is observational: it never participates in determinism checks and
@@ -47,8 +133,16 @@ type Experiment struct {
 	Notes   []string   `json:"notes,omitempty"`
 	// ShapeCheck is "" (not run), "pass", or "fail: <reason>" — the result
 	// of the experiment's qualitative-claim check under -verify.
-	ShapeCheck string  `json:"shape_check,omitempty"`
-	Timing     *Timing `json:"timing,omitempty"`
+	ShapeCheck string `json:"shape_check,omitempty"`
+	// Counters is the sum of engine counters over every simulation the
+	// experiment ran. The totals are a deterministic function of (seed,
+	// sizes) — integer addition commutes across the worker schedule — so
+	// Canonical keeps them: a counter drift across -parallel values is a
+	// determinism bug, and the canonical-encoding tests will catch it.
+	Counters *obs.Counters `json:"counters,omitempty"`
+	// TrialStats aggregates per-trial wall times (observational).
+	TrialStats *TrialStats `json:"trial_stats,omitempty"`
+	Timing     *Timing     `json:"timing,omitempty"`
 }
 
 // Run is the top-level BENCH_<id>.json document.
@@ -64,9 +158,10 @@ type Run struct {
 	// Parallel is the configured worker count (0 = all cores).
 	Parallel int `json:"parallel"`
 	// Workers is the resolved worker count actually used.
-	Workers    int    `json:"workers,omitempty"`
-	GoVersion  string `json:"go_version,omitempty"`
-	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Manifest describes the producing environment (schema v2; stripped by
+	// Canonical).
+	Manifest *Manifest `json:"manifest,omitempty"`
 	// Interrupted is true when the run was cancelled (SIGINT) and the
 	// document holds only the experiments completed before cancellation.
 	Interrupted bool         `json:"interrupted,omitempty"`
@@ -90,19 +185,21 @@ func FromTable(t *experiment.Table) Experiment {
 }
 
 // Canonical returns a deep copy of r with every nondeterministic field
-// (timing, environment description, resolved worker count, and the
-// configured parallelism itself) zeroed: the projection that must be
-// byte-identical across -parallel settings for a fixed seed.
+// (timing, trial-time statistics, the environment manifest, the resolved
+// worker count, and the configured parallelism itself) zeroed: the
+// projection that must be byte-identical across -parallel settings for a
+// fixed seed. Engine counters survive the projection on purpose — they are
+// part of the deterministic payload.
 func (r *Run) Canonical() *Run {
 	c := *r
 	c.Parallel = 0
 	c.Workers = 0
-	c.GoVersion = ""
-	c.GOMAXPROCS = 0
+	c.Manifest = nil
 	c.Timing = nil
 	c.Experiments = make([]Experiment, len(r.Experiments))
 	for i, e := range r.Experiments {
 		e.Timing = nil
+		e.TrialStats = nil
 		c.Experiments[i] = e
 	}
 	return &c

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"adhocradio/internal/experiment"
+	"adhocradio/internal/obs"
 )
 
 func sampleRun() *Run {
@@ -19,15 +20,24 @@ func sampleRun() *Run {
 	e := FromTable(tab)
 	e.ShapeCheck = "pass"
 	e.Timing = &Timing{WallMS: 1234, CPUMS: 2345}
+	e.Counters = &obs.Counters{Steps: 100, Transmissions: 700, Receptions: 650, Collisions: 50}
+	e.TrialStats = &TrialStats{Trials: 5, TotalNS: 5000, MinNS: 800, MaxNS: 1400, MeanNS: 1000, P50NS: 1024, P95NS: 1400}
 	return &Run{
-		Schema:      SchemaVersion,
-		ID:          "quick_seed1",
-		Seed:        1,
-		Quick:       true,
-		Parallel:    8,
-		Workers:     8,
-		GoVersion:   "go1.22",
-		GOMAXPROCS:  4,
+		Schema:   SchemaVersion,
+		ID:       "quick_seed1",
+		Seed:     1,
+		Quick:    true,
+		Parallel: 8,
+		Workers:  8,
+		Manifest: &Manifest{
+			GoVersion:   "go1.22",
+			GOOS:        "linux",
+			GOARCH:      "amd64",
+			NumCPU:      4,
+			GOMAXPROCS:  4,
+			VCSRevision: "abc123",
+			Flags:       map[string]string{"quick": "true", "seed": "1"},
+		},
 		Experiments: []Experiment{e},
 		Timing:      &Timing{WallMS: 5000},
 	}
@@ -53,6 +63,15 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if e.Timing == nil || e.Timing.WallMS != 1234 {
 		t.Fatalf("timing lost: %+v", e.Timing)
 	}
+	if e.Counters == nil || e.Counters.Transmissions != 700 {
+		t.Fatalf("counters lost: %+v", e.Counters)
+	}
+	if e.TrialStats == nil || e.TrialStats.Trials != 5 {
+		t.Fatalf("trial stats lost: %+v", e.TrialStats)
+	}
+	if got.Manifest == nil || got.Manifest.VCSRevision != "abc123" || got.Manifest.Flags["seed"] != "1" {
+		t.Fatalf("manifest lost: %+v", got.Manifest)
+	}
 }
 
 func TestEncodeIsStable(t *testing.T) {
@@ -77,19 +96,28 @@ func TestCanonicalStripsNondeterminism(t *testing.T) {
 	if c.Timing != nil || c.Experiments[0].Timing != nil {
 		t.Fatal("Canonical kept timing")
 	}
-	if c.Parallel != 0 || c.Workers != 0 || c.GoVersion != "" || c.GOMAXPROCS != 0 {
+	if c.Parallel != 0 || c.Workers != 0 || c.Manifest != nil {
 		t.Fatalf("Canonical kept environment fields: %+v", c)
 	}
+	if c.Experiments[0].TrialStats != nil {
+		t.Fatal("Canonical kept trial stats")
+	}
+	if c.Experiments[0].Counters == nil || c.Experiments[0].Counters.Transmissions != 700 {
+		t.Fatalf("Canonical dropped the deterministic counters: %+v", c.Experiments[0].Counters)
+	}
 	// The original must be untouched (deep copy).
-	if r.Timing == nil || r.Experiments[0].Timing == nil || r.Parallel != 8 {
+	if r.Timing == nil || r.Experiments[0].Timing == nil || r.Parallel != 8 || r.Manifest == nil ||
+		r.Experiments[0].TrialStats == nil {
 		t.Fatal("Canonical mutated its receiver")
 	}
 	var buf bytes.Buffer
 	if err := Encode(&buf, c); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(buf.String(), "wall_ms") || strings.Contains(buf.String(), "go_version") {
-		t.Fatalf("canonical encoding leaks nondeterministic fields:\n%s", buf.String())
+	for _, leak := range []string{"wall_ms", "go_version", "trial_stats", "vcs_revision"} {
+		if strings.Contains(buf.String(), leak) {
+			t.Fatalf("canonical encoding leaks %q:\n%s", leak, buf.String())
+		}
 	}
 }
 
@@ -99,6 +127,33 @@ func TestDecodeRejectsWrongSchema(t *testing.T) {
 	}
 	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestNewManifestCapturesEnvironment(t *testing.T) {
+	m := NewManifest(map[string]string{"quick": "true"})
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete manifest: %+v", m)
+	}
+	if m.Flags["quick"] != "true" {
+		t.Fatalf("flags lost: %+v", m.Flags)
+	}
+}
+
+func TestTrialStatsFrom(t *testing.T) {
+	var h obs.Hist
+	if TrialStatsFrom(h) != nil {
+		t.Fatal("empty histogram produced stats")
+	}
+	for _, ns := range []int64{800, 1000, 1200} {
+		h.Observe(ns)
+	}
+	s := TrialStatsFrom(h)
+	if s == nil || s.Trials != 3 || s.TotalNS != 3000 || s.MinNS != 800 || s.MaxNS != 1200 || s.MeanNS != 1000 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.P50NS < 800 || s.P95NS > 2*1200 {
+		t.Fatalf("quantiles out of range: %+v", s)
 	}
 }
 

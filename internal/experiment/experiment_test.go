@@ -5,6 +5,11 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"adhocradio/internal/decay"
+	"adhocradio/internal/graph"
+	"adhocradio/internal/obs"
+	"adhocradio/internal/radio"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -105,5 +110,32 @@ func TestTrialsDefaulting(t *testing.T) {
 	}
 	if (Config{Quick: true}).trials(2) != 2 {
 		t.Fatal("quick should not raise small defaults")
+	}
+}
+
+// TestSimulateFeedsRecorder: every simulation routed through simulate()
+// drains its engine-counter window into obs.Default, and the totals restate
+// the Results exactly (the recorder tap must not distort the ledger).
+func TestSimulateFeedsRecorder(t *testing.T) {
+	obs.Default.Take() // isolate from other tests sharing the recorder
+	g := graph.Path(16)
+	var wantTx, wantRx int64
+	for i := 0; i < 3; i++ {
+		res, err := simulate(g, decay.New(), radio.Config{Seed: uint64(i + 1)}, radio.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTx += res.Transmissions
+		wantRx += res.Receptions
+	}
+	c, _ := obs.Default.Take()
+	if c.Transmissions != wantTx || c.Receptions != wantRx {
+		t.Fatalf("recorder totals %+v do not restate the results (tx=%d rx=%d)", c, wantTx, wantRx)
+	}
+	if c.Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+	if again, _ := obs.Default.Take(); !again.IsZero() {
+		t.Fatalf("Take did not drain: %+v", again)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"adhocradio/internal/experiment/pool"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/lowerbound"
+	"adhocradio/internal/obs"
 	"adhocradio/internal/radio"
 	"adhocradio/internal/rng"
 	"adhocradio/internal/stats"
@@ -120,10 +121,11 @@ func runPoints(ctx context.Context, cfg Config, t *Table, n int,
 // number of trials and returns the mean and median broadcast time. Trials
 // are sharded across the pool: trial i derives its topology stream from
 // (seed, i) and its protocol stream from seed+1000+i, so the summary is
-// identical whatever the worker count.
+// identical whatever the worker count. Per-trial wall times feed the
+// observability recorder; they never touch the returned summary.
 func meanTime(ctx context.Context, cfg Config, build func(src *rng.Source) (*graph.Graph, error),
 	p func() radio.Protocol, seed uint64, trials int) (stats.Summary, error) {
-	times, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) (int, error) {
+	times, trialNS, err := pool.CollectMetered(ctx, cfg.workers(), trials, func(_ context.Context, i int) (int, error) {
 		src := rng.NewStream(seed, uint64(i))
 		g, err := build(src)
 		if err != nil {
@@ -138,6 +140,7 @@ func meanTime(ctx context.Context, cfg Config, build func(src *rng.Source) (*gra
 	if err != nil {
 		return stats.Summary{}, err
 	}
+	obs.Default.ObserveTrials(trialNS)
 	return stats.SummarizeInts(times), nil
 }
 
@@ -530,7 +533,7 @@ func E8(ctx context.Context, cfg Config) (*Table, error) {
 			}
 			return res.BroadcastTime
 		}
-		pairs, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) ([2]int, error) {
+		pairs, trialNS, err := pool.CollectMetered(ctx, cfg.workers(), trials, func(_ context.Context, i int) ([2]int, error) {
 			seed := cfg.Seed + uint64(100*w+i)
 			return [2]int{
 				run(core.NewWithParams(core.Params{KnownRadius: assumedRadius}), seed),
@@ -540,6 +543,7 @@ func E8(ctx context.Context, cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		obs.Default.ObserveTrials(trialNS)
 		full := make([]int, 0, trials)
 		ablated := make([]int, 0, trials)
 		for _, pr := range pairs {

@@ -11,6 +11,7 @@ import (
 	"adhocradio/internal/experiment/pool"
 	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
+	"adhocradio/internal/obs"
 	"adhocradio/internal/radio"
 	"adhocradio/internal/rng"
 )
@@ -44,7 +45,7 @@ func faultTrials(ctx context.Context, cfg Config, trials int, base uint64, budge
 		done     bool
 		informed float64
 	}
-	results, err := pool.Collect(ctx, cfg.workers(), trials, func(_ context.Context, i int) (out, error) {
+	results, trialNS, err := pool.CollectMetered(ctx, cfg.workers(), trials, func(_ context.Context, i int) (out, error) {
 		src := rng.NewStream(base, uint64(i))
 		g, err := build(src)
 		if err != nil {
@@ -72,6 +73,7 @@ func faultTrials(ctx context.Context, cfg Config, trials int, base uint64, budge
 	if err != nil {
 		return faultSummary{}, err
 	}
+	obs.Default.ObserveTrials(trialNS)
 	var s faultSummary
 	for _, o := range results {
 		s.meanTime += float64(o.time)

@@ -7,16 +7,22 @@ import (
 
 	"adhocradio/internal/experiment"
 	"adhocradio/internal/experiment/benchjson"
+	"adhocradio/internal/obs"
 )
 
 // renderAll runs every registered experiment (or the -short subset) at
 // Quick scale with the given worker count and returns the concatenated
 // rendered tables plus the canonical (timing-stripped) benchjson encoding.
+// Per-experiment engine counters are drained from obs.Default into the
+// record, so the bit-identity assertion also gates counter determinism:
+// a counter total that depends on the worker schedule would show up as a
+// canonical-JSON divergence.
 func renderAll(t *testing.T, parallel int, ids map[string]bool) (tables, canonical []byte) {
 	t.Helper()
 	cfg := experiment.Config{Seed: 1, Quick: true, Parallel: parallel}
 	var tabBuf bytes.Buffer
 	record := &benchjson.Run{Schema: benchjson.SchemaVersion, ID: "determinism", Seed: cfg.Seed, Quick: true, Parallel: parallel}
+	obs.Default.Take() // discard counters other tests fed the shared recorder
 	for _, e := range experiment.Registry() {
 		if ids != nil && !ids[e.ID] {
 			continue
@@ -28,7 +34,13 @@ func renderAll(t *testing.T, parallel int, ids map[string]bool) (tables, canonic
 		if err := tab.Render(&tabBuf); err != nil {
 			t.Fatal(err)
 		}
-		record.Experiments = append(record.Experiments, benchjson.FromTable(tab))
+		je := benchjson.FromTable(tab)
+		counters, hist := obs.Default.Take()
+		if !counters.IsZero() {
+			je.Counters = &counters
+		}
+		je.TrialStats = benchjson.TrialStatsFrom(hist)
+		record.Experiments = append(record.Experiments, je)
 	}
 	var jsonBuf bytes.Buffer
 	if err := benchjson.Encode(&jsonBuf, record.Canonical()); err != nil {

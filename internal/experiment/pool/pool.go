@@ -27,6 +27,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalizes a worker-count setting: values below 1 select
@@ -139,4 +140,32 @@ func Collect[T any](ctx context.Context, workers, n int, fn func(ctx context.Con
 		return nil, err
 	}
 	return out, nil
+}
+
+// CollectMetered is Collect additionally reporting each job's wall-clock
+// duration in nanoseconds, index-aligned with the results. The results obey
+// Collect's bit-identity contract untouched; the durations are the one
+// deliberately nondeterministic output — observability data for timing
+// histograms, never an input to anything deterministic (benchjson.Canonical
+// strips every consumer of them). That is why the wall-clock reads below
+// are a justified exception to the norandtime rule.
+func CollectMetered[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []int64, error) {
+	out := make([]T, n)
+	ns := make([]int64, n)
+	err := Run(ctx, workers, n, func(ctx context.Context, i int) error {
+		//radiolint:ignore norandtime trial timing is observational and stripped from every determinism surface
+		start := time.Now()
+		v, err := fn(ctx, i)
+		//radiolint:ignore norandtime trial timing is observational and stripped from every determinism surface
+		ns[i] = int64(time.Since(start))
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ns, nil
 }

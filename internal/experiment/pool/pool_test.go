@@ -187,3 +187,49 @@ func TestCollectDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectMeteredMatchesCollect: the metered variant returns the same
+// results as Collect for every worker count, with one nonnegative duration
+// per index.
+func TestCollectMeteredMatchesCollect(t *testing.T) {
+	fn := func(_ context.Context, i int) (int, error) { return i * i, nil }
+	want, err := Collect(context.Background(), 1, 25, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, ns, err := CollectMetered(context.Background(), workers, 25, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) || len(ns) != len(want) {
+			t.Fatalf("workers=%d: lengths %d/%d, want %d", workers, len(got), len(ns), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+			if ns[i] < 0 {
+				t.Fatalf("workers=%d: negative duration ns[%d] = %d", workers, i, ns[i])
+			}
+		}
+	}
+}
+
+// TestCollectMeteredError: errors propagate exactly like Collect's, and both
+// returned slices are nil on failure.
+func TestCollectMeteredError(t *testing.T) {
+	boom := errors.New("boom")
+	out, ns, err := CollectMetered(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if out != nil || ns != nil {
+		t.Fatalf("failure returned partial data: %v %v", out, ns)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"adhocradio/internal/graph"
+	"adhocradio/internal/obs"
 	"adhocradio/internal/radio"
 )
 
@@ -17,10 +18,17 @@ import (
 var engines = sync.Pool{New: func() any { return radio.NewRunner() }}
 
 // simulate runs one trial through a pooled engine. Every simulation an
-// experiment performs goes through here.
+// experiment performs goes through here, so this is also where the
+// observability layer taps in: the run's counter window drains into
+// obs.Default. Counter totals stay identical for every worker count because
+// each trial's window is a deterministic function of its inputs and integer
+// addition commutes (TestParallelBitIdentical covers the assembled tables,
+// TestSimulateFeedsRecorder the tap itself).
 func simulate(g *graph.Graph, p radio.Protocol, cfg radio.Config, opt radio.Options) (*radio.Result, error) {
 	r := engines.Get().(*radio.Runner)
+	before := r.Counters()
 	res, err := r.Run(g, p, cfg, opt)
+	obs.Default.AddCounters(r.Counters().Diff(before))
 	// Park only on normal return: if a protocol panicked, the unwind skips
 	// this line and the mid-step engine is dropped for the GC instead of
 	// being handed to the next trial.

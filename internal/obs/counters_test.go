@@ -1,0 +1,60 @@
+package obs
+
+import "testing"
+
+// full returns a Counters with every field distinct and non-zero, so a
+// field dropped from Add or Diff shows up as a mismatch.
+func full(base int64) Counters {
+	return Counters{
+		Steps:         base + 1,
+		Transmissions: base + 2,
+		Receptions:    base + 3,
+		Collisions:    base + 4,
+		SilentSteps:   base + 5,
+		LinksDropped:  base + 6,
+		JamNoise:      base + 7,
+		CrashSkips:    base + 8,
+		SleepSkips:    base + 9,
+	}
+}
+
+func TestCountersAddDiffRoundTrip(t *testing.T) {
+	a, b := full(10), full(100)
+	sum := a
+	sum.Add(b)
+	if got := sum.Diff(a); got != b {
+		t.Fatalf("Diff(Add(a,b), a) = %+v, want %+v", got, b)
+	}
+	if got := sum.Diff(b); got != a {
+		t.Fatalf("Diff(Add(a,b), b) = %+v, want %+v", got, a)
+	}
+}
+
+func TestCountersAddCoversEveryField(t *testing.T) {
+	var c Counters
+	c.Add(full(0))
+	if c != full(0) {
+		t.Fatalf("Add into zero = %+v, want %+v", c, full(0))
+	}
+}
+
+func TestCountersIsZero(t *testing.T) {
+	var c Counters
+	if !c.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	c.Steps = 1
+	if c.IsZero() {
+		t.Fatal("non-zero Counters reported IsZero")
+	}
+}
+
+func TestCountersFaultEvents(t *testing.T) {
+	c := Counters{LinksDropped: 1, JamNoise: 2, CrashSkips: 4, SleepSkips: 8, Steps: 100}
+	if got := c.FaultEvents(); got != 15 {
+		t.Fatalf("FaultEvents = %d, want 15", got)
+	}
+	if got := (Counters{Steps: 3, Transmissions: 9}).FaultEvents(); got != 0 {
+		t.Fatalf("fault-free FaultEvents = %d, want 0", got)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import "sync"
+
+// Recorder aggregates engine counters and per-trial wall timings from
+// concurrent trial workers. All methods are safe for concurrent use; the
+// counter totals are deterministic for a fixed workload because integer
+// addition commutes — the worker schedule can change only the timing
+// histogram, never a counter.
+//
+// The zero value is ready to use. Default is the process-wide recorder the
+// experiment engine feeds; cmd/radiobench drains it per experiment with
+// Take.
+type Recorder struct {
+	mu     sync.Mutex
+	c      Counters
+	trials Hist
+}
+
+// Default is the process-wide recorder: every simulation the experiment
+// engine runs adds its engine counters here, and every metered pool trial
+// adds its wall time.
+var Default = &Recorder{}
+
+// AddCounters accumulates one run's engine counters.
+func (r *Recorder) AddCounters(c Counters) {
+	if c.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	r.c.Add(c)
+	r.mu.Unlock()
+}
+
+// ObserveTrials records per-trial wall durations (nanoseconds), in the
+// index order the caller assembled them. A single lock acquisition covers
+// the whole batch, so metering a thousand-trial sweep costs one mutex
+// round-trip, not a thousand.
+func (r *Recorder) ObserveTrials(ns []int64) {
+	if len(ns) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for _, d := range ns {
+		r.trials.Observe(d)
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the current totals without resetting them.
+func (r *Recorder) Snapshot() (Counters, Hist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c, r.trials
+}
+
+// Take returns the totals accumulated since the previous Take (or since
+// process start) and resets the recorder: the per-experiment drain
+// cmd/radiobench uses between sequential experiments.
+func (r *Recorder) Take() (Counters, Hist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, h := r.c, r.trials
+	r.c = Counters{}
+	r.trials = Hist{}
+	return c, h
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderAccumulateSnapshotTake(t *testing.T) {
+	var r Recorder
+	r.AddCounters(Counters{Steps: 2, Transmissions: 5})
+	r.AddCounters(Counters{Steps: 3, Collisions: 1})
+	r.AddCounters(Counters{}) // zero adds are dropped without locking
+	r.ObserveTrials([]int64{100, 200})
+	r.ObserveTrials(nil)
+
+	c, h := r.Snapshot()
+	if c.Steps != 5 || c.Transmissions != 5 || c.Collisions != 1 {
+		t.Fatalf("snapshot counters wrong: %+v", c)
+	}
+	if h.Count != 2 || h.TotalNS != 300 {
+		t.Fatalf("snapshot hist wrong: %+v", h)
+	}
+
+	// Snapshot does not reset.
+	c2, _ := r.Snapshot()
+	if c2 != c {
+		t.Fatalf("snapshot reset the recorder: %+v vs %+v", c2, c)
+	}
+
+	// Take drains and resets.
+	tc, th := r.Take()
+	if tc != c || th != h {
+		t.Fatalf("take returned different totals than snapshot")
+	}
+	ec, eh := r.Take()
+	if !ec.IsZero() || eh.Count != 0 {
+		t.Fatalf("recorder not reset by Take: %+v %+v", ec, eh)
+	}
+}
+
+// TestRecorderConcurrentTotals drives the recorder from many goroutines
+// (run under -race by make race) and checks the totals are exact: the
+// whole point of the design is that aggregation is schedule-independent.
+func TestRecorderConcurrentTotals(t *testing.T) {
+	var r Recorder
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.AddCounters(Counters{Steps: 1, Receptions: 2})
+				r.ObserveTrials([]int64{int64(i + 1)})
+			}
+		}()
+	}
+	wg.Wait()
+	c, h := r.Take()
+	if c.Steps != workers*perWorker || c.Receptions != 2*workers*perWorker {
+		t.Fatalf("concurrent counter totals wrong: %+v", c)
+	}
+	if h.Count != workers*perWorker || h.MinNS != 1 || h.MaxNS != perWorker {
+		t.Fatalf("concurrent hist totals wrong: %+v", h)
+	}
+}
+
+func TestDefaultRecorderExists(t *testing.T) {
+	// Default is shared process state; exercise it non-destructively by
+	// snapshotting (other tests must not depend on its contents).
+	if Default == nil {
+		t.Fatal("Default recorder is nil")
+	}
+	_, _ = Default.Snapshot()
+}

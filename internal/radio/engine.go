@@ -6,6 +6,7 @@ import (
 
 	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
+	"adhocradio/internal/obs"
 )
 
 // Runner is a reusable simulation engine. It owns every piece of per-run
@@ -60,6 +61,13 @@ type Runner struct {
 	payloads     []any
 	receptions   []Message
 
+	// counters accumulates engine observables across every run on this
+	// Runner (it is NOT scratch and survives the poison rebuild): plain
+	// int64 increments in the hot loop, mirrored independently by
+	// RunReferenceObserved so the differential battery gates their
+	// semantics. Snapshot with Counters(), window with Counters().Diff.
+	counters obs.Counters
+
 	// Run-scoped state; cleared by finish so a pooled Runner does not pin
 	// graphs or programs alive between trials.
 	res           *Result
@@ -76,6 +84,14 @@ type Runner struct {
 // NewRunner returns an empty engine. Scratch is allocated lazily on the
 // first run and reused afterwards.
 func NewRunner() *Runner { return &Runner{} }
+
+// Counters returns the engine counters accumulated across every run this
+// Runner has executed (including partial, step-limited runs). For a
+// per-run window, snapshot before the run and Diff after it.
+func (r *Runner) Counters() obs.Counters { return r.counters }
+
+// ResetCounters zeroes the accumulated engine counters.
+func (r *Runner) ResetCounters() { r.counters = obs.Counters{} }
 
 // Run simulates protocol p on network g, allocating a fresh Result. See the
 // package-level Run for the semantics; the only difference is scratch reuse
@@ -195,6 +211,13 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 		arcs := 0
 		for _, v := range r.active {
 			if fs != nil && fs.NodeDown(t, v) {
+				// Mirror rule: RunReferenceObserved discriminates the same
+				// way, so the crash/sleep counters gate differentially.
+				if fs.Crashed(t, v) {
+					r.counters.CrashSkips++
+				} else {
+					r.counters.SleepSkips++
+				}
 				continue
 			}
 			tx, payload := r.programs[v].Act(t)
@@ -209,6 +232,10 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 			}
 		}
 		res.Transmissions += int64(len(r.transmitters))
+		r.counters.Transmissions += int64(len(r.transmitters))
+		if len(r.transmitters) == 0 {
+			r.counters.SilentSteps++
+		}
 
 		// Phases 2+3: tally receptions over the flat CSR arrays, then
 		// deliver. hits is restored to all-zero on the way out. Faulty runs
@@ -274,6 +301,7 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 			opt.Trace(t, r.transmitters, r.receptions)
 		}
 		res.StepsSimulated = t
+		r.counters.Steps++
 	}
 
 	res.Completed = r.informedCount == n
@@ -301,6 +329,7 @@ func (r *Runner) tallyFaulty(t, n int, outOff, outAdj []int32, fs *fault.State, 
 		for _, v32 := range outAdj[outOff[u]:outOff[u+1]] {
 			v := int(v32)
 			if fs.LinkDown(t, u, v) {
+				r.counters.LinksDropped++
 				continue
 			}
 			if hits[v] == 0 {
@@ -316,6 +345,7 @@ func (r *Runner) tallyFaulty(t, n int, outOff, outAdj []int32, fs *fault.State, 
 		if !fs.JamAt(t, int(j)) {
 			continue
 		}
+		r.counters.JamNoise++
 		for _, v := range outAdj[outOff[j]:outOff[j+1]] {
 			if !r.jammed[v] {
 				r.jammed[v] = true
@@ -375,11 +405,13 @@ func (r *Runner) deliver(t, v int, h int32, jammed, allNil bool) {
 		}
 		r.programs[v].Deliver(t, msg)
 		r.res.Receptions++
+		r.counters.Receptions++
 		if r.opt.Trace != nil {
 			r.receptions = append(r.receptions, msg)
 		}
 	case h >= 2 || jammed:
 		r.res.Collisions++
+		r.counters.Collisions++
 		if r.opt.CollisionDetection && r.res.InformedAt[v] != -1 {
 			if cl, ok := r.programs[v].(CollisionListener); ok {
 				cl.DeliverCollision(t)

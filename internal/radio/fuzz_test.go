@@ -100,8 +100,8 @@ func fuzzPlan(pseed uint64, n int, lossB, crashB, jamB uint8) *fault.Plan {
 // for random connected graphs, seeds, protocols (randomized coin,
 // deterministic flood, SourceCarrier-mixing mixed), and fault plans derived
 // from three extra bytes, the optimized CSR engine and the naive oracle must
-// agree on every observable Result field — including runs that hit the step
-// budget.
+// agree on every observable Result field AND on every obs.Counters field —
+// including runs that hit the step budget.
 func FuzzRunVsReference(f *testing.F) {
 	f.Add(uint64(1), uint64(7), uint8(0), uint8(20), uint8(0), uint8(0), uint8(0), uint8(0))
 	f.Add(uint64(2), uint64(9), uint8(1), uint8(40), uint8(1), uint8(0), uint8(0), uint8(0))
@@ -129,8 +129,9 @@ func FuzzRunVsReference(f *testing.F) {
 		// partial result and on hitting the limit at all.
 		const budget = 4096
 		cfg := Config{Seed: pseed}
-		fast, fastErr := Run(g, p, cfg, Options{MaxSteps: budget, Fault: plan})
-		ref, refErr := RunReferenceWithFaults(g, p, cfg, budget, plan)
+		var runner Runner
+		fast, fastErr := runner.Run(g, p, cfg, Options{MaxSteps: budget, Fault: plan})
+		ref, refCounters, refErr := RunReferenceObserved(g, p, cfg, budget, plan)
 		if (fastErr == nil) != (refErr == nil) {
 			t.Fatalf("error mismatch: fast=%v ref=%v", fastErr, refErr)
 		}
@@ -148,6 +149,10 @@ func FuzzRunVsReference(f *testing.F) {
 			fast.Collisions != ref.Collisions {
 			t.Fatalf("divergence on %s (n=%d kind=%d):\nfast %+v\nref  %+v",
 				p.Name(), n, kind%5, fast, ref)
+		}
+		if eng := runner.Counters(); eng != refCounters {
+			t.Fatalf("counter divergence on %s (n=%d kind=%d):\nengine    %+v\nreference %+v",
+				p.Name(), n, kind%5, eng, refCounters)
 		}
 		for v := range fast.InformedAt {
 			if fast.InformedAt[v] != ref.InformedAt[v] {

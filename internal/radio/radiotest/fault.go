@@ -32,8 +32,10 @@ func FaultPlans(seed uint64) map[string]*fault.Plan {
 // fault-plan battery and asserts, for every combination:
 //
 //  1. the optimized engine and the naive RunReferenceWithFaults oracle agree
-//     on every Result field, including whether the run hit the step limit —
-//     the differential gate for the faulty code paths;
+//     on every Result field AND on every obs.Counters field (steps,
+//     traffic, silent steps, links dropped, jam noise, crash/sleep skips),
+//     including on runs that hit the step limit — the differential gate for
+//     the faulty code paths and their accounting;
 //  2. replaying through the same reused Runner reproduces the result, so
 //     fault scratch (jam shadows, compiled schedules) leaks nothing between
 //     runs;
@@ -80,14 +82,20 @@ func CheckFaults(t *testing.T, build func() radio.Protocol, opt Options) {
 				plan := plans[planName]
 				for _, seed := range seeds {
 					cfg := radio.Config{Seed: seed}
+					before := runner.Counters()
 					fast, fastErr := runner.Run(g, build(), cfg,
 						radio.Options{MaxSteps: maxSteps, Fault: plan})
 					if fastErr != nil && !errors.Is(fastErr, radio.ErrStepLimit) {
 						t.Fatalf("%s seed %d: %v", planName, seed, fastErr)
 					}
-					ref, refErr := radio.RunReferenceWithFaults(g, build(), cfg, maxSteps, plan)
+					engCounters := runner.Counters().Diff(before)
+					ref, refCounters, refErr := radio.RunReferenceObserved(g, build(), cfg, maxSteps, plan)
 					if refErr != nil && !errors.Is(refErr, radio.ErrStepLimit) {
 						t.Fatalf("%s seed %d reference: %v", planName, seed, refErr)
+					}
+					if engCounters != refCounters {
+						t.Fatalf("%s seed %d: counter mirror divergence:\nengine    %+v\nreference %+v",
+							planName, seed, engCounters, refCounters)
 					}
 					if (fastErr == nil) != (refErr == nil) {
 						t.Fatalf("%s seed %d: step-limit disagreement: fast err %v, ref err %v",

@@ -65,7 +65,10 @@ type Options struct {
 //     radio.Runner, so engine-scratch reuse is proven to leak nothing
 //     between runs for every protocol;
 //  5. the optimized engine agrees with the naive RunReference oracle on
-//     every Result field (differential validation of the CSR hot loop).
+//     every Result field (differential validation of the CSR hot loop);
+//  6. the engine's obs.Counters window for the run equals the counters
+//     RunReferenceObserved tallies independently, and both restate the
+//     Result's own accounting — the counter half of the mirror rule.
 func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 	t.Helper()
 	seeds := opt.Seeds
@@ -117,21 +120,40 @@ func Check(t *testing.T, build func() radio.Protocol, opt Options) {
 							seed, v, dist[v], at)
 					}
 				}
-				// Replay determinism, through the reused engine.
+				// Replay determinism, through the reused engine. The
+				// counter snapshot around the replay is the engine side of
+				// the per-run counter window.
+				before := runner.Counters()
 				res2, err := runner.Run(g, build(), radio.Config{Seed: seed},
 					radio.Options{MaxSteps: opt.MaxSteps})
 				if err != nil {
 					t.Fatalf("seed %d replay: %v", seed, err)
 				}
+				engCounters := runner.Counters().Diff(before)
 				if res.BroadcastTime != res2.BroadcastTime || res.Transmissions != res2.Transmissions {
 					t.Fatalf("seed %d: replay diverged (%d/%d vs %d/%d)", seed,
 						res.BroadcastTime, res.Transmissions, res2.BroadcastTime, res2.Transmissions)
 				}
 				// Differential validation: the optimized CSR engine must
-				// reproduce the naive oracle byte for byte.
-				ref, err := radio.RunReference(g, build(), radio.Config{Seed: seed}, opt.MaxSteps)
+				// reproduce the naive oracle byte for byte — Result fields
+				// and engine counters alike.
+				ref, refCounters, err := radio.RunReferenceObserved(g, build(), radio.Config{Seed: seed}, opt.MaxSteps, nil)
 				if err != nil {
 					t.Fatalf("seed %d reference: %v", seed, err)
+				}
+				if engCounters != refCounters {
+					t.Fatalf("seed %d: counter mirror divergence:\nengine    %+v\nreference %+v",
+						seed, engCounters, refCounters)
+				}
+				if engCounters.Steps != int64(res2.StepsSimulated) ||
+					engCounters.Transmissions != res2.Transmissions ||
+					engCounters.Receptions != res2.Receptions ||
+					engCounters.Collisions != res2.Collisions {
+					t.Fatalf("seed %d: counters diverge from Result:\ncounters %+v\nresult   %+v",
+						seed, engCounters, res2)
+				}
+				if engCounters.FaultEvents() != 0 {
+					t.Fatalf("seed %d: fault counters fired without a fault plan: %+v", seed, engCounters)
 				}
 				if res.BroadcastTime != ref.BroadcastTime ||
 					res.Transmissions != ref.Transmissions ||

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"adhocradio/internal/fault"
+	"adhocradio/internal/obs"
 )
 
 // ReferenceGraph is the minimal topology view the naive oracle needs.
@@ -42,18 +43,33 @@ func RunReference(g ReferenceGraph, p Protocol, cfg Config, maxSteps int) (*Resu
 //     legitimate hit suffers a collision instead of a reception, while jam
 //     noise over silence is just more silence.
 func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps int, plan *fault.Plan) (*Result, error) {
+	res, _, err := RunReferenceObserved(g, p, cfg, maxSteps, plan)
+	return res, err
+}
+
+// RunReferenceObserved is RunReferenceWithFaults additionally returning
+// the engine counters of the run, counted independently of the optimized
+// engine: plain increments over this function's own naive scans, never
+// derived from a Result or from radio.Runner. This is the reference side
+// of the counter mirror rule (CONTRIBUTING.md): every obs.Counters field
+// the engine maintains must be maintained here too, at the semantically
+// identical accounting point, so the differential battery and
+// FuzzRunVsReference gate counter semantics exactly like result semantics.
+// On a step-limit error the counters cover the executed steps.
+func RunReferenceObserved(g ReferenceGraph, p Protocol, cfg Config, maxSteps int, plan *fault.Plan) (*Result, obs.Counters, error) {
+	var c obs.Counters
 	n := g.N()
 	if n == 0 {
-		return nil, errors.New("radio: empty graph")
+		return nil, c, errors.New("radio: empty graph")
 	}
 	if cfg.N == 0 {
 		cfg.N = n
 	}
 	if cfg.N != n {
-		return nil, fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
+		return nil, c, fmt.Errorf("radio: cfg.N=%d does not match graph n=%d", cfg.N, n)
 	}
 	if maxSteps < 0 {
-		return nil, fmt.Errorf("radio: negative MaxSteps %d", maxSteps)
+		return nil, c, fmt.Errorf("radio: negative MaxSteps %d", maxSteps)
 	}
 	if maxSteps == 0 {
 		maxSteps = DefaultMaxSteps(n)
@@ -61,12 +77,12 @@ func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps i
 	var st *fault.State
 	if plan != nil {
 		if err := plan.Validate(n); err != nil {
-			return nil, err
+			return nil, c, err
 		}
 		if plan.Active() {
 			st = fault.NewState()
 			if err := st.Reset(plan, n); err != nil {
-				return nil, err
+				return nil, c, err
 			}
 		}
 	}
@@ -108,17 +124,26 @@ func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps i
 	for t := 1; informed() < n; t++ {
 		if t > maxSteps {
 			res.StepsSimulated = t - 1
-			return res, fmt.Errorf("radio: %w after %d steps (reference)", ErrStepLimit, maxSteps)
+			return res, c, fmt.Errorf("radio: %w after %d steps (reference)", ErrStepLimit, maxSteps)
 		}
 		res.StepsSimulated = t
+		c.Steps++
 
-		// Who transmits. Nodes the fault plan has down are not consulted.
+		// Who transmits. Nodes the fault plan has down are not consulted; a
+		// down node with a program is a lost transmit opportunity, counted
+		// as a crash or sleep skip (crash wins when both hold, matching the
+		// engine).
 		tx := make(map[int]any, 4)
 		for v := 0; v < n; v++ {
 			if programs[v] == nil {
 				continue
 			}
 			if st != nil && st.NodeDown(t, v) {
+				if st.Crashed(t, v) {
+					c.CrashSkips++
+				} else {
+					c.SleepSkips++
+				}
 				continue
 			}
 			if ok, payload := programs[v].Act(t); ok {
@@ -126,6 +151,29 @@ func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps i
 			}
 		}
 		res.Transmissions += int64(len(tx))
+		c.Transmissions += int64(len(tx))
+		if len(tx) == 0 {
+			c.SilentSteps++
+		}
+
+		// Fault-event accounting, mirroring the engine's points exactly:
+		// every arc out of a transmitter that a link fault destroys, and
+		// every (step, jammer) noise transmission — JamAt is false for
+		// nodes hosting no jammer, so scanning all n keeps this naive.
+		if st != nil {
+			for u := 0; u < n; u++ {
+				if _, ok := tx[u]; ok {
+					for _, v := range g.Out(u) {
+						if st.LinkDown(t, u, v) {
+							c.LinksDropped++
+						}
+					}
+				}
+				if st.JamAt(t, u) {
+					c.JamNoise++
+				}
+			}
+		}
 
 		// Who receives what: scan every node's in-neighbors.
 		for v := 0; v < n; v++ {
@@ -166,8 +214,10 @@ func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps i
 				}
 				programs[v].Deliver(t, Message{From: from, Payload: payload})
 				res.Receptions++
+				c.Receptions++
 			case count >= 2 || (count == 1 && jammed):
 				res.Collisions++
+				c.Collisions++
 			}
 		}
 		if informed() == n {
@@ -178,5 +228,5 @@ func RunReferenceWithFaults(g ReferenceGraph, p Protocol, cfg Config, maxSteps i
 	if n == 1 {
 		res.BroadcastTime = 0
 	}
-	return res, nil
+	return res, c, nil
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"adhocradio/internal/graph"
+	"adhocradio/internal/obs"
 	"adhocradio/internal/radio"
 )
 
@@ -42,6 +43,26 @@ func (c *Collector) Hook() radio.TraceFunc {
 // Steps returns the number of steps observed.
 func (c *Collector) Steps() int { return len(c.txPerStep) }
 
+// Counters projects the observations into the engine's obs.Counters shape,
+// so hook-derived views and the engine's own ledger speak one vocabulary.
+// Only hook-visible events appear: the TraceFunc reports transmitters and
+// successful receptions, so Collisions and the fault counters stay zero
+// here (read those from radio.Runner.Counters). Steps the hook never saw
+// but that padding implies (a sparse trace) count as silent, matching
+// SilentSteps.
+func (c *Collector) Counters() obs.Counters {
+	var k obs.Counters
+	k.Steps = int64(len(c.txPerStep))
+	for i, tx := range c.txPerStep {
+		k.Transmissions += int64(tx)
+		k.Receptions += int64(c.rxPerStep[i])
+		if tx == 0 {
+			k.SilentSteps++
+		}
+	}
+	return k
+}
+
 // TransmissionsAt returns the number of transmitters in step t (1-based).
 func (c *Collector) TransmissionsAt(t int) int {
 	if t < 1 || t > len(c.txPerStep) {
@@ -61,15 +82,11 @@ func (c *Collector) BusiestStep() (step, tx int) {
 	return step, tx
 }
 
-// SilentSteps counts steps in which nobody transmitted.
+// SilentSteps counts steps in which nobody transmitted. It is the
+// SilentSteps field of Counters, kept as a method for the existing
+// call sites.
 func (c *Collector) SilentSteps() int {
-	n := 0
-	for _, tx := range c.txPerStep {
-		if tx == 0 {
-			n++
-		}
-	}
-	return n
+	return int(c.Counters().SilentSteps)
 }
 
 // Energy summarizes per-node transmission counts: what a battery budget

@@ -162,3 +162,97 @@ func TestPerLayerDelaysShort(t *testing.T) {
 		t.Fatalf("slowest on radius-0: (%d,%d)", l, d)
 	}
 }
+
+// TestCollectorCountersMatchEngine: the collector's counter projection must
+// agree with the engine's own ledger on every hook-visible field.
+func TestCollectorCountersMatchEngine(t *testing.T) {
+	g := graph.Grid(4, 5)
+	var c Collector
+	r := radio.NewRunner()
+	res, err := r.Run(g, det.RoundRobin{}, radio.Config{}, radio.Options{Trace: c.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook, eng := c.Counters(), r.Counters()
+	if hook.Steps != eng.Steps || hook.Transmissions != eng.Transmissions ||
+		hook.Receptions != eng.Receptions || hook.SilentSteps != eng.SilentSteps {
+		t.Fatalf("hook counters diverge from engine:\nhook   %+v\nengine %+v", hook, eng)
+	}
+	if hook.Transmissions != res.Transmissions {
+		t.Fatalf("hook transmissions %d, result %d", hook.Transmissions, res.Transmissions)
+	}
+	if hook.Collisions != 0 {
+		t.Fatal("collisions are not hook-visible and must stay zero")
+	}
+}
+
+// TestCollectorEmptyRun: a collector that never saw a hook call reports
+// zeroes everywhere instead of panicking.
+func TestCollectorEmptyRun(t *testing.T) {
+	var c Collector
+	if !c.Counters().IsZero() {
+		t.Fatalf("empty collector counters: %+v", c.Counters())
+	}
+	if c.Steps() != 0 || c.SilentSteps() != 0 {
+		t.Fatal("empty collector observed steps")
+	}
+	if e := c.Energy(); e.Total != 0 || e.Nodes != 0 || e.MaxNode != -1 {
+		t.Fatalf("empty collector energy: %+v", e)
+	}
+	if top := c.TopTransmitters(3); len(top) != 0 {
+		t.Fatalf("empty collector top transmitters: %v", top)
+	}
+}
+
+// TestCollectorSingleNode: an n=1 broadcast finishes before step 1, so the
+// hook never fires; the collector and AnalyzeProgress must both cope.
+func TestCollectorSingleNode(t *testing.T) {
+	g := graph.Path(1)
+	c, res := runWithCollector(t, g, det.RoundRobin{})
+	if !res.Completed || res.StepsSimulated != 0 {
+		t.Fatalf("n=1 result: %+v", res)
+	}
+	if c.Steps() != 0 || !c.Counters().IsZero() {
+		t.Fatalf("n=1 collector saw events: %+v", c.Counters())
+	}
+	p, err := AnalyzeProgress(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Radius != 0 || len(p.LayerDone) != 1 || p.LayerDone[0] != 0 {
+		t.Fatalf("n=1 progress: %+v", p)
+	}
+	if layer, delay := p.SlowestLayer(); layer != -1 || delay != 0 {
+		t.Fatalf("n=1 slowest layer = (%d, %d)", layer, delay)
+	}
+	if got := p.Timeline(10); !strings.Contains(got, "1/1 informed after 0 steps") {
+		t.Fatalf("n=1 timeline: %q", got)
+	}
+}
+
+// TestCollectorStepGaps: a sparse trace (hook invoked for step 3 only) pads
+// the unseen steps as silent, and the padding stays consistent across the
+// accessors and the counter projection.
+func TestCollectorStepGaps(t *testing.T) {
+	var c Collector
+	hook := c.Hook()
+	hook(3, []int{4, 7}, []radio.Message{{From: 4}})
+	if c.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3 (padded)", c.Steps())
+	}
+	if c.TransmissionsAt(1) != 0 || c.TransmissionsAt(2) != 0 || c.TransmissionsAt(3) != 2 {
+		t.Fatal("padding misplaced the observation")
+	}
+	if c.SilentSteps() != 2 {
+		t.Fatalf("silent steps = %d, want 2", c.SilentSteps())
+	}
+	k := c.Counters()
+	if k.Steps != 3 || k.Transmissions != 2 || k.Receptions != 1 || k.SilentSteps != 2 {
+		t.Fatalf("gap counters: %+v", k)
+	}
+	// A later in-order call extends the arrays past the gap.
+	hook(5, []int{1}, nil)
+	if c.Steps() != 5 || c.SilentSteps() != 3 {
+		t.Fatalf("after second gap: steps=%d silent=%d", c.Steps(), c.SilentSteps())
+	}
+}
