@@ -30,11 +30,15 @@ BENCHDELTA_FLAGS ?=
 # Coverage profile and the per-package floors CI enforces (cmd/covercheck).
 # internal/obs is the observability layer every engine counter flows
 # through; it stays thoroughly tested or the ledger cannot be trusted.
+# internal/bitset and internal/graph carry the bit-parallel tally kernel's
+# word ops and the cached bitmap adjacency it reads — a silently wrong bit
+# there corrupts every dense trial, so both hold the same floor.
 COVER_PROFILE ?= cover.out
-COVER_FLOORS ?= adhocradio/internal/obs=85
+COVER_FLOORS ?= adhocradio/internal/obs=85 adhocradio/internal/bitset=85 \
+	adhocradio/internal/graph=85
 
 .PHONY: check build test vet radiolint lint-baseline race race-full fmt-check \
-	bench-smoke bench-compare bench-save fuzz-smoke cover
+	bench-smoke bench-compare bench-save bench-kernel fuzz-smoke cover
 
 check: build vet fmt-check radiolint test race
 
@@ -95,6 +99,13 @@ bench-save:
 		> $(BENCH_BASELINE) \
 		|| { cat $(BENCH_BASELINE); exit 1; }
 	@cat $(BENCH_BASELINE)
+
+# The isolated tally-kernel pair plus the degree sweep behind the
+# bitsetArcFactor dispatch threshold (engine.go): run this when touching the
+# tally paths or retuning the crossover, and update the DESIGN.md table from
+# its output. -benchmem keeps the 0 allocs/op claim honest.
+bench-kernel:
+	$(GO) test -run=NONE -bench='BenchmarkTally' -benchmem ./internal/radio/
 
 # Whole-repo coverage with per-package floors. The profile is left behind
 # for the CI artifact; covercheck exits non-zero when a floor is missed.

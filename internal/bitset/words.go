@@ -1,0 +1,66 @@
+package bitset
+
+import "math/bits"
+
+// Word-level views for kernels that accumulate directly over raw []uint64
+// bitplanes instead of going through Set. The radio engine's bit-parallel
+// tally kernel owns three such planes (hit-once, hit-twice, transmitters)
+// and streams cached bitmap-adjacency rows through them; these helpers are
+// the alloc-free word operations that kernel is built from. All of them
+// treat their arguments as fixed-width planes sized by Words(n) — bounds
+// are the caller's responsibility, exactly like indexing a slice.
+
+// Words returns the number of 64-bit words needed to hold n bits.
+func Words(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// Mark sets bit i in the plane.
+func Mark(w []uint64, i int) {
+	w[i>>6] |= 1 << uint(i&63)
+}
+
+// Test reports whether bit i is set in the plane.
+func Test(w []uint64, i int) bool {
+	return w[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Zero clears every word of the plane, keeping its storage.
+func Zero(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// OnesCount returns the number of set bits across the plane.
+func OnesCount(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// AccumulateTwoPlane ORs row into a two-plane saturating accumulator:
+// after the call, twice holds every bit seen in at least two rows so far
+// and once every bit seen at least once. The order matters — twice must
+// absorb the overlap before once absorbs the row:
+//
+//	twice |= once & row
+//	once  |= row
+//
+// This is the word-parallel analogue of a saturating per-receiver hit
+// counter clamped at 2, which is all a radio collision model needs: the
+// interesting receiver states are "exactly one hit" (once &^ twice) and
+// "two or more" (twice). len(once) and len(twice) must be >= len(row).
+func AccumulateTwoPlane(once, twice, row []uint64) {
+	once = once[:len(row)]
+	twice = twice[:len(row)]
+	for i, w := range row {
+		twice[i] |= once[i] & w
+		once[i] |= w
+	}
+}

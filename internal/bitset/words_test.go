@@ -1,0 +1,93 @@
+package bitset
+
+import (
+	"testing"
+
+	"adhocradio/internal/rng"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-5, 0}, {0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {1000, 16},
+	}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMarkTestZero(t *testing.T) {
+	w := make([]uint64, Words(200))
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 199} {
+		if Test(w, i) {
+			t.Fatalf("bit %d set before Mark", i)
+		}
+		Mark(w, i)
+		if !Test(w, i) {
+			t.Fatalf("bit %d not set after Mark", i)
+		}
+	}
+	if got := OnesCount(w); got != 7 {
+		t.Fatalf("OnesCount = %d, want 7", got)
+	}
+	Zero(w)
+	if got := OnesCount(w); got != 0 {
+		t.Fatalf("OnesCount after Zero = %d, want 0", got)
+	}
+	for _, x := range w {
+		if x != 0 {
+			t.Fatal("Zero left a non-zero word")
+		}
+	}
+}
+
+// TestAccumulateTwoPlane checks the saturating semantics against a scalar
+// hit counter: after accumulating any sequence of rows, once must hold the
+// bits hit >= 1 time and twice the bits hit >= 2 times.
+func TestAccumulateTwoPlane(t *testing.T) {
+	const n = 300
+	words := Words(n)
+	rnd := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		once := make([]uint64, words)
+		twice := make([]uint64, words)
+		hits := make([]int, n)
+		rows := 1 + rnd.Intn(6)
+		for r := 0; r < rows; r++ {
+			row := make([]uint64, words)
+			for i := 0; i < n; i++ {
+				if rnd.Intn(4) == 0 {
+					Mark(row, i)
+					hits[i]++
+				}
+			}
+			AccumulateTwoPlane(once, twice, row)
+		}
+		for i := 0; i < n; i++ {
+			if got, want := Test(once, i), hits[i] >= 1; got != want {
+				t.Fatalf("trial %d bit %d: once=%v, hits=%d", trial, i, got, hits[i])
+			}
+			if got, want := Test(twice, i), hits[i] >= 2; got != want {
+				t.Fatalf("trial %d bit %d: twice=%v, hits=%d", trial, i, got, hits[i])
+			}
+		}
+	}
+}
+
+// TestAccumulateTwoPlaneShortRow pins that a row shorter than the planes
+// only touches its own prefix.
+func TestAccumulateTwoPlaneShortRow(t *testing.T) {
+	once := make([]uint64, 4)
+	twice := make([]uint64, 4)
+	once[3], twice[3] = 0xdead, 0xbeef
+	row := []uint64{^uint64(0), 0, 1}
+	AccumulateTwoPlane(once, twice, row)
+	AccumulateTwoPlane(once, twice, row)
+	if once[0] != ^uint64(0) || once[2] != 1 || twice[0] != ^uint64(0) || twice[2] != 1 {
+		t.Fatalf("prefix wrong: once=%x twice=%x", once, twice)
+	}
+	if once[3] != 0xdead || twice[3] != 0xbeef {
+		t.Fatalf("suffix touched: once[3]=%x twice[3]=%x", once[3], twice[3])
+	}
+}

@@ -24,10 +24,12 @@ type Graph struct {
 	in         [][]int
 	undirected bool
 
-	// csr caches the compiled flat-adjacency view (see Compile). Mutators
-	// store nil to invalidate it; atomic publication lets concurrent
-	// read-only users of a frozen graph share one compilation.
+	// csr caches the compiled flat-adjacency view (see Compile) and bmp the
+	// bitmap-adjacency view (see CompileBitmap). Mutators store nil to
+	// invalidate both; atomic publication lets concurrent read-only users
+	// of a frozen graph share one compilation of each.
 	csr atomic.Pointer[CSR]
+	bmp atomic.Pointer[Bitmap]
 }
 
 // New returns an empty graph with n nodes and no edges. undirected selects
@@ -102,6 +104,7 @@ func (g *Graph) addArc(u, v int) {
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.csr.Store(nil)
+	g.bmp.Store(nil)
 }
 
 // removeEdge deletes the undirected edge {u, v}; generators use it for
@@ -114,6 +117,7 @@ func (g *Graph) removeEdge(u, v int) {
 		g.in[u] = removeValue(g.in[u], v)
 	}
 	g.csr.Store(nil)
+	g.bmp.Store(nil)
 }
 
 func removeValue(xs []int, v int) []int {
@@ -156,6 +160,7 @@ func (g *Graph) SortAdjacency() {
 		sort.Ints(g.in[v])
 	}
 	g.csr.Store(nil)
+	g.bmp.Store(nil)
 }
 
 // Clone returns a deep copy of the graph.

@@ -2,8 +2,11 @@ package radio
 
 import (
 	"errors"
+	"fmt"
+	"math/bits"
 	"testing"
 
+	"adhocradio/internal/bitset"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/rng"
 )
@@ -47,8 +50,22 @@ func BenchmarkSimulatorSparseLoad(b *testing.B) {
 	benchRun(b, g, coin{}, 200)
 }
 
+// BenchmarkSimulatorDenseLoad is the dense saturation workload: every step
+// floods ~256 transmitters over 65k arcs with nil payloads, the shape of
+// every tally-bound trial in the experiment harness. Nil payloads keep the
+// run on the allNil fast path, where the bit-parallel bitset kernel is
+// eligible — the payload-bearing variant of the same workload is
+// BenchmarkSimulatorDensePayloadLoad below.
 func BenchmarkSimulatorDenseLoad(b *testing.B) {
-	g := graph.Clique(256) // every step floods ~256 transmitters over 65k arcs
+	g := graph.Clique(256)
+	benchRun(b, g, nilFlood{}, 50)
+}
+
+// BenchmarkSimulatorDensePayloadLoad is DenseLoad with a payload attached
+// to every transmission: allNil is false, so this pins the cost of the
+// dense scalar tally path (the bitset kernel is payload-fast-path-only).
+func BenchmarkSimulatorDensePayloadLoad(b *testing.B) {
+	g := graph.Clique(256)
 	benchRun(b, g, flood{}, 50)
 }
 
@@ -117,16 +134,14 @@ func BenchmarkSimulatorVsReference(b *testing.B) {
 // (pointer-chasing [][]int plus first-touch dirty tracking), kept here as
 // the comparison baseline.
 
-func BenchmarkTallyDenseCSR(b *testing.B) {
-	g := graph.Clique(256)
+// benchTallyDenseCSR times the engine's dense scalar tally (branch-free
+// per-arc counters plus full clear) with the given transmitter set.
+func benchTallyDenseCSR(b *testing.B, g *graph.Graph, transmitters []int) {
+	b.Helper()
 	csr := g.Compile()
 	n := g.N()
 	hits := make([]int32, n)
 	lastFrom := make([]int32, n)
-	transmitters := make([]int, n)
-	for v := range transmitters {
-		transmitters[v] = v
-	}
 	outOff, outAdj := csr.OutOff, csr.OutAdj
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -142,6 +157,95 @@ func BenchmarkTallyDenseCSR(b *testing.B) {
 		}
 	}
 	_ = lastFrom
+}
+
+// benchTallyBitset times the bit-parallel tally exactly as tallyBitset runs
+// it: two-plane accumulation over the cached bitmap rows, listener-only
+// mask reduction, the scalar lastFrom second pass over exactly-one words,
+// and the plane clear.
+func benchTallyBitset(b *testing.B, g *graph.Graph, transmitters []int) {
+	b.Helper()
+	bm := g.CompileBitmap()
+	n := g.N()
+	words := bitset.Words(n)
+	once := make([]uint64, words)
+	twice := make([]uint64, words)
+	tx := make([]uint64, words)
+	lastFrom := make([]int32, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for bi := 0; bi < b.N; bi++ {
+		for _, u := range transmitters {
+			bitset.AccumulateTwoPlane(once, twice, bm.OutRow(u))
+			bitset.Mark(tx, u)
+		}
+		for w := range once {
+			once[w] &^= twice[w] | tx[w]
+			twice[w] &^= tx[w]
+		}
+		for i, u := range transmitters {
+			row := bm.OutRow(u)
+			for w, rw := range row {
+				m := rw & once[w]
+				for m != 0 {
+					lastFrom[w<<6+bits.TrailingZeros64(m)] = int32(i)
+					m &= m - 1
+				}
+			}
+		}
+		bitset.Zero(once)
+		bitset.Zero(twice)
+		bitset.Zero(tx)
+	}
+	_ = lastFrom
+}
+
+// allTransmitters returns 0..n-1: the saturation transmitter set.
+func allTransmitters(n int) []int {
+	tr := make([]int, n)
+	for v := range tr {
+		tr[v] = v
+	}
+	return tr
+}
+
+func BenchmarkTallyDenseCSR(b *testing.B) {
+	g := graph.Clique(256)
+	benchTallyDenseCSR(b, g, allTransmitters(256))
+}
+
+// BenchmarkTallyBitset is BenchmarkTallyDenseCSR through the bit-parallel
+// kernel: same clique, same saturation transmitter set, 64 receivers per
+// word op instead of one per scalar op.
+func BenchmarkTallyBitset(b *testing.B) {
+	g := graph.Clique(256)
+	benchTallyBitset(b, g, allTransmitters(256))
+}
+
+// BenchmarkTallyCrossover sweeps mean degree on a fixed node count with
+// every node transmitting, pairing the dense scalar tally with the bitset
+// kernel at each density. Per transmitter the scalar path costs ~out-degree
+// ops and the kernel ~O(words) ops, so the crossover is a pure
+// degree-vs-words ratio — this sweep is the measurement behind
+// bitsetArcFactor (table in DESIGN.md).
+func BenchmarkTallyCrossover(b *testing.B) {
+	const n = 512
+	src := rng.New(99)
+	for _, deg := range []int{8, 16, 32, 64, 128, 511} {
+		var g *graph.Graph
+		if deg == 511 {
+			g = graph.Clique(n)
+		} else {
+			g = graph.GNPConnected(n, float64(deg)/float64(n-1), src)
+		}
+		tr := allTransmitters(n)
+		b.Run(fmt.Sprintf("deg%d/csr", deg), func(b *testing.B) {
+			benchTallyDenseCSR(b, g, tr)
+		})
+		b.Run(fmt.Sprintf("deg%d/bitset", deg), func(b *testing.B) {
+			benchTallyBitset(b, g, tr)
+		})
+	}
 }
 
 func BenchmarkTallyDenseSlice(b *testing.B) {

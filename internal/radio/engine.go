@@ -3,7 +3,9 @@ package radio
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"adhocradio/internal/bitset"
 	"adhocradio/internal/fault"
 	"adhocradio/internal/graph"
 	"adhocradio/internal/obs"
@@ -19,13 +21,17 @@ import (
 //
 // The engine walks the graph's compiled CSR form (graph.Compile): flat
 // int32 adjacency arrays instead of [][]int spines. Per step it picks one
-// of two tally strategies by the transmitters' total out-degree: a sparse
-// path that tracks only the nodes actually hit (cost proportional to arcs
-// touched), and a dense path that tallies branch-free into the counter
-// array and then sweeps all nodes (cost arcs + n, cheaper once the arcs
-// touched exceed n). Both orders of delivery are observationally identical:
-// node programs are isolated state machines, so no program can see the
-// order in which other nodes were served within a step.
+// of three tally strategies by the transmitters' total out-degree and the
+// graph's density: a sparse path that tracks only the nodes actually hit
+// (cost proportional to arcs touched), a dense scalar path that tallies
+// branch-free into the counter array and then sweeps all nodes (cost
+// arcs + n, cheaper once the arcs touched exceed n), and — on dense graphs
+// with nil payloads — a bit-parallel kernel that ORs cached bitmap
+// adjacency rows (graph.CompileBitmap) into two saturating bitplanes, 64
+// receivers per ALU op (see tallyBitset and the DESIGN.md dispatch table).
+// All orders of delivery are observationally identical: node programs are
+// isolated state machines, so no program can see the order in which other
+// nodes were served within a step.
 //
 // A Runner must not be used from multiple goroutines at once. Parallel
 // harnesses give each worker its own Runner (or draw from a pool); the
@@ -45,6 +51,13 @@ type Runner struct {
 	transmitted []bool  // half-duplex: transmitted in the current step
 	dirty       []int32 // nodes hit this step (sparse path only)
 	programs    []NodeProgram
+
+	// Bitplane scratch for the bit-parallel tally kernel (tallyBitset),
+	// each bitset.Words(n) long. Between steps all three are all-zero; the
+	// kernel restores that invariant on the way out of every step it runs.
+	hitOnce  []uint64 // bit v: v heard >= 1 transmitter this step
+	hitTwice []uint64 // bit v: v heard >= 2 transmitters this step
+	txPlane  []uint64 // bit v: v transmitted this step (half-duplex mask)
 
 	// Fault-injection scratch, used only when a run carries an active
 	// fault.Plan: jammed marks nodes in a noisy jammer's shadow this step
@@ -147,6 +160,13 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 		}
 	}
 	csr := g.Compile()
+	// On dense graphs (see graph.BitmapDense) the bit-parallel tally kernel
+	// is in play: compile (or fetch the cached) bitmap adjacency up front so
+	// the hot loop only dispatches on per-step transmitter counts.
+	var bm *graph.Bitmap
+	if graph.BitmapDense(n, csr.Arcs()) {
+		bm = g.CompileBitmap()
+	}
 	r.ensure(n, opt)
 	if fs != nil {
 		if cap(r.jammed) < n {
@@ -245,6 +265,14 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 		hits, lastFrom := r.hits, r.lastFrom
 		if fs != nil {
 			r.tallyFaulty(t, n, outOff, outAdj, fs, allNil)
+		} else if bm != nil && allNil && arcs >= n &&
+			arcs >= bitsetArcFactor*len(r.transmitters)*bm.WordsPerRow {
+			// Bit-parallel path: word-wise two-plane accumulation over the
+			// cached bitmap rows. Eligible only on the nil-payload fast path
+			// (payload routing needs per-hit transmitter identity) and only
+			// when the scalar per-arc work exceeds the kernel's per-word
+			// work by the measured crossover factor.
+			r.tallyBitset(t, bm, allNil)
 		} else if arcs >= n {
 			// Dense path: branch-free saturating-by-construction counters
 			// (a step has at most n-1 in-transmitters per node), then a
@@ -311,6 +339,83 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 	}
 	r.finish()
 	return nil
+}
+
+// bitsetArcFactor is the dispatch crossover between the dense scalar tally
+// and the bit-parallel kernel: the kernel runs when the transmitters' total
+// out-degree is at least this many times T*words (T transmitters, words =
+// bitset.Words(n) per bitplane). Per transmitter the scalar path costs
+// ~out-degree counter increments while the kernel costs ~3*words word ops
+// for the accumulate plus ~words for the lastFrom second pass, so the
+// crossover is a pure degree-vs-words ratio. BenchmarkTallyCrossover
+// measures it (table in DESIGN.md): break-even at mean degree ≈ 2·words,
+// with the kernel 2.1x ahead by 4·words and 22x ahead at clique density.
+// 3 sits just above break-even so the kernel only fires on clear wins.
+const bitsetArcFactor = 3
+
+// tallyBitset is the bit-parallel tally: each transmitter's out-neighborhood
+// is one row of the graph's cached bitmap adjacency, and per-receiver hit
+// counts saturate at two in a pair of bitplanes —
+//
+//	hitTwice |= hitOnce & row
+//	hitOnce  |= row
+//
+// — so after T row accumulations (T·words word ops instead of Σ out-degree
+// scalar increments), "exactly one hit" and "collision" fall out as word-wise
+// boolean masks. Half-duplex is a third plane ANDed out of both. A short
+// scalar second pass over the transmitters' rows resolves lastFrom for the
+// exactly-one words only (each such bit has a unique covering row, so the
+// write is unambiguous); collision words never need transmitter identity.
+// Delivery then iterates set bits in ascending node order, matching the
+// dense scalar sweep. Eligible only on the fault-free, all-nil-payload fast
+// path: payload routing would need per-hit payload indices the planes do
+// not carry, and RunReference* stays naive either way (the differential
+// battery and FuzzRunVsReference gate this kernel end-to-end).
+//
+// All three planes are all-zero on entry and restored to all-zero on the
+// way out, the same touched-entries invariant the scalar paths keep on hits.
+//
+//radiolint:hotpath
+func (r *Runner) tallyBitset(t int, bm *graph.Bitmap, allNil bool) {
+	once, twice, tx := r.hitOnce, r.hitTwice, r.txPlane
+	for _, u := range r.transmitters {
+		bitset.AccumulateTwoPlane(once, twice, bm.OutRow(u))
+		bitset.Mark(tx, u)
+	}
+	// Reduce to listener-only masks: once becomes "exactly one hit", twice
+	// "two or more hits", both excluding half-duplex transmitters.
+	for w := range once {
+		once[w] &^= twice[w] | tx[w]
+		twice[w] &^= tx[w]
+	}
+	lastFrom := r.lastFrom
+	for i, u := range r.transmitters {
+		row := bm.OutRow(u)
+		for w, rw := range row {
+			m := rw & once[w]
+			for m != 0 {
+				lastFrom[w<<6+bits.TrailingZeros64(m)] = int32(i)
+				m &= m - 1
+			}
+		}
+	}
+	for w, m := range once {
+		for m != 0 {
+			v := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			r.deliver(t, v, 1, false, allNil)
+		}
+	}
+	for w, m := range twice {
+		for m != 0 {
+			v := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			r.deliver(t, v, 2, false, allNil)
+		}
+	}
+	bitset.Zero(once)
+	bitset.Zero(twice)
+	bitset.Zero(tx)
 }
 
 // tallyFaulty is the fault-aware tally: sparse-style first-touch tracking
@@ -439,6 +544,7 @@ func (r *Runner) ensure(n int, opt Options) {
 		// them — the sizing code below re-allocates on demand.
 		//radiolint:scratch-rebuild
 		r.hits, r.lastFrom, r.transmitted, r.dirty = nil, nil, nil, nil
+		r.hitOnce, r.hitTwice, r.txPlane = nil, nil, nil
 		r.jammed, r.jamDirty = nil, nil
 		r.programs, r.active = nil, nil
 		r.transmitters, r.payloads, r.receptions = nil, nil, nil
@@ -452,6 +558,15 @@ func (r *Runner) ensure(n int, opt Options) {
 	r.hits = r.hits[:n]
 	r.lastFrom = r.lastFrom[:n]
 	r.transmitted = r.transmitted[:n]
+	words := bitset.Words(n)
+	if cap(r.hitOnce) < words {
+		r.hitOnce = make([]uint64, words)
+		r.hitTwice = make([]uint64, words)
+		r.txPlane = make([]uint64, words)
+	}
+	r.hitOnce = r.hitOnce[:words]
+	r.hitTwice = r.hitTwice[:words]
+	r.txPlane = r.txPlane[:words]
 	if cap(r.dirty) < n {
 		r.dirty = make([]int32, 0, n)
 	}

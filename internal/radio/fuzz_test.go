@@ -98,10 +98,11 @@ func fuzzPlan(pseed uint64, n int, lossB, crashB, jamB uint8) *fault.Plan {
 
 // FuzzRunVsReference is the differential fuzzer the hot loop is gated on:
 // for random connected graphs, seeds, protocols (randomized coin,
-// deterministic flood, SourceCarrier-mixing mixed), and fault plans derived
-// from three extra bytes, the optimized CSR engine and the naive oracle must
-// agree on every observable Result field AND on every obs.Counters field —
-// including runs that hit the step budget.
+// deterministic flood, SourceCarrier-mixing mixed, nil-payload nilFlood —
+// the last being the only one eligible for the bit-parallel tally kernel),
+// and fault plans derived from three extra bytes, the optimized CSR engine
+// and the naive oracle must agree on every observable Result field AND on
+// every obs.Counters field — including runs that hit the step budget.
 func FuzzRunVsReference(f *testing.F) {
 	f.Add(uint64(1), uint64(7), uint8(0), uint8(20), uint8(0), uint8(0), uint8(0), uint8(0))
 	f.Add(uint64(2), uint64(9), uint8(1), uint8(40), uint8(1), uint8(0), uint8(0), uint8(0))
@@ -111,18 +112,35 @@ func FuzzRunVsReference(f *testing.F) {
 	f.Add(uint64(6), uint64(17), uint8(0), uint8(2), uint8(1), uint8(0), uint8(0x35), uint8(0))
 	f.Add(uint64(7), uint64(19), uint8(1), uint8(25), uint8(2), uint8(0), uint8(0), uint8(0x78))
 	f.Add(uint64(8), uint64(21), uint8(4), uint8(50), uint8(0), uint8(0x4a), uint8(0x23), uint8(0xe7))
+	// Dispatch-crossover seeds (mirrored as named files in
+	// testdata/fuzz/FuzzRunVsReference/): dense GNP under nilFlood at the
+	// bitplane word boundaries n=64 (one word) and n=65 (one spare bit) and
+	// at the size cap n=80 drive the bit-parallel kernel; the sparse control
+	// fails the BitmapDense gate; mixed flips allNil (and so the dispatch)
+	// per step; the fault-plan variant must bypass the kernel via tallyFaulty.
+	f.Add(uint64(9), uint64(23), uint8(4), uint8(62), uint8(3), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(10), uint64(25), uint8(4), uint8(63), uint8(3), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(11), uint64(27), uint8(4), uint8(78), uint8(3), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(12), uint64(29), uint8(0), uint8(62), uint8(3), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(13), uint64(31), uint8(4), uint8(62), uint8(2), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(14), uint64(33), uint8(4), uint8(78), uint8(3), uint8(0x22), uint8(0), uint8(0))
 	f.Fuzz(func(t *testing.T, gseed, pseed uint64, kind, size, proto, lossB, crashB, jamB uint8) {
 		n := 2 + int(size)%79 // [2, 80]
 		g := fuzzGraph(gseed, kind, n)
 		plan := fuzzPlan(pseed, n, lossB, crashB, jamB)
 		var p Protocol
-		switch proto % 3 {
+		switch proto % 4 {
 		case 0:
 			p = coin{}
 		case 1:
 			p = flood{}
-		default:
+		case 2:
 			p = mixed{}
+		default:
+			// nilFlood transmits nil payloads only, so on bitmap-dense
+			// inputs it drives the bit-parallel tally kernel and, around
+			// the dispatch thresholds, the scalar/bitset crossover.
+			p = nilFlood{}
 		}
 		// A finite budget keeps livelocking combinations (flood on a
 		// colliding front) bounded; both simulators must then agree on the
