@@ -34,11 +34,18 @@ BENCHDELTA_FLAGS ?=
 # word ops and the cached bitmap adjacency it reads — a silently wrong bit
 # there corrupts every dense trial, so both hold the same floor.
 COVER_PROFILE ?= cover.out
+# internal/experiment/campaign holds the crash-safety layer: an untested
+# checkpoint writer is exactly the kind of code that corrupts a 10-hour
+# campaign on the first real crash, so it holds the same floor.
 COVER_FLOORS ?= adhocradio/internal/obs=85 adhocradio/internal/bitset=85 \
-	adhocradio/internal/graph=85
+	adhocradio/internal/graph=85 adhocradio/internal/experiment/campaign=85
+
+# Where `make campaign-smoke` stages its sharded/killed/resumed runs.
+CAMPAIGN_DIR ?= campaign-out
 
 .PHONY: check build test vet radiolint lint-baseline race race-full fmt-check \
-	bench-smoke bench-compare bench-save bench-kernel fuzz-smoke cover
+	bench-smoke bench-compare bench-save bench-kernel fuzz-smoke cover \
+	campaign-smoke
 
 check: build vet fmt-check radiolint test race
 
@@ -112,6 +119,33 @@ bench-kernel:
 cover:
 	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
 	$(GO) run ./cmd/covercheck -profile $(COVER_PROFILE) $(COVER_FLOORS)
+
+# End-to-end gate for the crash-safe sharded campaign layer: an unsharded
+# reference run, a 2-shard campaign whose first shard is deliberately killed
+# after two checkpointed points (RADIOBENCH_CRASH_AFTER) and then resumed,
+# and a benchmerge of the shard documents verified byte-identical against
+# the reference. Binaries are built first instead of `go run` because the
+# injected crash's exit status must reach the shell un-laundered.
+campaign-smoke:
+	@rm -rf $(CAMPAIGN_DIR) && mkdir -p $(CAMPAIGN_DIR)/ref $(CAMPAIGN_DIR)/shards
+	$(GO) build -o $(CAMPAIGN_DIR)/radiobench ./cmd/radiobench
+	$(GO) build -o $(CAMPAIGN_DIR)/benchmerge ./cmd/benchmerge
+	$(CAMPAIGN_DIR)/radiobench -quick -only E2,E5 -seed 3 -runid smoke \
+		-json $(CAMPAIGN_DIR)/ref
+	@echo "campaign-smoke: shard 1/2 will be killed after 2 checkpointed points"
+	@RADIOBENCH_CRASH_AFTER=2 $(CAMPAIGN_DIR)/radiobench -quick -only E2,E5 \
+		-seed 3 -runid smoke -shard 1/2 -json $(CAMPAIGN_DIR)/shards; \
+		st=$$?; if [ $$st -eq 0 ]; then \
+			echo "campaign-smoke: crash injection did not fire"; exit 1; \
+		fi; echo "campaign-smoke: shard 1/2 crashed as injected (exit $$st)"
+	$(CAMPAIGN_DIR)/radiobench -quick -only E2,E5 -seed 3 \
+		-resume smoke_shard1of2 -json $(CAMPAIGN_DIR)/shards
+	$(CAMPAIGN_DIR)/radiobench -quick -only E2,E5 -seed 3 -runid smoke \
+		-shard 2/2 -json $(CAMPAIGN_DIR)/shards
+	$(CAMPAIGN_DIR)/benchmerge -o $(CAMPAIGN_DIR)/BENCH_smoke_merged.json \
+		-against $(CAMPAIGN_DIR)/ref/BENCH_smoke.json \
+		$(CAMPAIGN_DIR)/shards/BENCH_smoke_shard1of2.json \
+		$(CAMPAIGN_DIR)/shards/BENCH_smoke_shard2of2.json
 
 # A short differential-fuzzing pass over the optimized engine vs the naive
 # reference, including fault-injected inputs. The committed corpus under

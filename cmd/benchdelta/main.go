@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -188,7 +189,11 @@ func main() {
 	writeDelta(w, old, niw)
 	w.Flush()
 	if *failOver > 0 {
-		if regs := regressionsOver(old, niw, gatedUnits(*metric), *failOver); len(regs) > 0 {
+		regs, warnings := regressionsOver(old, niw, gatedUnits(*metric), *failOver)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "benchdelta: WARNING:", w)
+		}
+		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "benchdelta: REGRESSION:", r)
 			}
@@ -209,12 +214,18 @@ func gatedUnits(metric string) map[string]bool {
 }
 
 // regressionsOver returns one description per benchmark metric whose mean
-// grew by more than failOver percent between old and new. Metrics outside
-// the gated unit set, and benchmarks present in only one file, are not
-// gated — a renamed benchmark should not hard-fail CI, the table already
-// shows it.
-func regressionsOver(old, niw *benchFile, units map[string]bool, failOver float64) []string {
-	var regs []string
+// grew by more than failOver percent between old and new, plus a warning
+// per gated metric the gate could NOT judge. Metrics outside the gated unit
+// set, and benchmarks present in only one file, are not gated — a renamed
+// benchmark should not hard-fail CI, the table already shows it.
+//
+// A baseline mean of zero (0 B/op, 0 allocs/op) or below makes the relative
+// delta +Inf%/NaN%: dividing through would either spuriously fail the gate
+// or — worse — let `NaN > failOver` evaluate false and silently PASS an
+// arbitrary regression. Such metrics are skipped with an explicit "baseline
+// zero" warning instead, as is any non-finite mean on either side, so a
+// gate that cannot judge a metric says so rather than pretending it did.
+func regressionsOver(old, niw *benchFile, units map[string]bool, failOver float64) (regs, warnings []string) {
 	names := append([]string{}, old.order...)
 	for _, n := range niw.order {
 		if !old.seen[n] {
@@ -229,18 +240,34 @@ func regressionsOver(old, niw *benchFile, units map[string]bool, failOver float6
 			key := name + "\t" + unit
 			so, haveOld := old.metrics[key]
 			sn, haveNew := niw.metrics[key]
-			if !haveOld || !haveNew || so.mean() <= 0 {
+			if !haveOld || !haveNew {
 				continue
 			}
-			pct := 100 * (sn.mean() - so.mean()) / so.mean()
+			om, nm := so.mean(), sn.mean()
+			short := strings.TrimPrefix(name, "Benchmark")
+			if math.IsNaN(om) || math.IsInf(om, 0) || math.IsNaN(nm) || math.IsInf(nm, 0) {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s %s: non-finite mean (old %v, new %v), cannot gate", short, unit, om, nm))
+				continue
+			}
+			if om <= 0 {
+				// Only noteworthy when the metric actually moved: a stable
+				// 0 -> 0 (the common 0 allocs/op case) is not a gate gap.
+				if nm > om {
+					warnings = append(warnings, fmt.Sprintf(
+						"%s %s: baseline zero (old %s, new %s), relative gate cannot judge this growth",
+						short, unit, fmtVal(om), fmtVal(nm)))
+				}
+				continue
+			}
+			pct := 100 * (nm - om) / om
 			if pct > failOver {
 				regs = append(regs, fmt.Sprintf("%s %s: %s -> %s (%+.1f%% > +%.1f%%)",
-					strings.TrimPrefix(name, "Benchmark"), unit,
-					fmtVal(so.mean()), fmtVal(sn.mean()), pct, failOver))
+					short, unit, fmtVal(om), fmtVal(nm), pct, failOver))
 			}
 		}
 	}
-	return regs
+	return regs, warnings
 }
 
 // writeDelta renders the old-vs-new table. Both files are known non-empty

@@ -157,17 +157,92 @@ func TestRegressionsOver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	regs := regressionsOver(old, niw, gatedUnits("ns/step"), 10)
+	regs, warns := regressionsOver(old, niw, gatedUnits("ns/step"), 10)
 	if len(regs) != 1 || !strings.Contains(regs[0], "Hot") || !strings.Contains(regs[0], "+25.0%") {
 		t.Fatalf("regs = %v, want exactly the Hot ns/step regression", regs)
 	}
+	if len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %v", warns)
+	}
 	// Above the threshold: no failure.
-	if regs := regressionsOver(old, niw, gatedUnits("ns/step"), 30); len(regs) != 0 {
+	if regs, _ := regressionsOver(old, niw, gatedUnits("ns/step"), 30); len(regs) != 0 {
 		t.Fatalf("30%% threshold still fired: %v", regs)
 	}
 	// Gating ns/op too catches the Cold regression.
-	if regs := regressionsOver(old, niw, gatedUnits("ns/step,ns/op"), 10); len(regs) != 2 {
+	if regs, _ := regressionsOver(old, niw, gatedUnits("ns/step,ns/op"), 10); len(regs) != 2 {
 		t.Fatalf("two-unit gate found %v", regs)
+	}
+}
+
+// TestRegressionsOverDegenerateBaselines: a zero or non-finite baseline must
+// neither spuriously fail the gate (+Inf%) nor silently pass it (NaN >
+// threshold is false); each such metric is skipped with an explicit
+// diagnostic instead. Failing before the fix: the old code's `mean() <= 0`
+// skip was silent, and NaN means passed straight through the comparison.
+func TestRegressionsOverDegenerateBaselines(t *testing.T) {
+	cases := []struct {
+		name      string
+		old, niw  string
+		wantRegs  int
+		wantWarns []string // substrings, one per expected warning
+	}{
+		{
+			name:      "zero-baseline-growth-warns",
+			old:       "BenchmarkAlloc-8 10 0 B/op\n",
+			niw:       "BenchmarkAlloc-8 10 1000 B/op\n",
+			wantWarns: []string{"baseline zero"},
+		},
+		{
+			name: "zero-baseline-stable-silent",
+			old:  "BenchmarkAlloc-8 10 0 B/op\n",
+			niw:  "BenchmarkAlloc-8 10 0 B/op\n",
+		},
+		{
+			name:      "nan-baseline-warns",
+			old:       "BenchmarkHot-8 10 NaN ns/step\n",
+			niw:       "BenchmarkHot-8 10 100 ns/step\n",
+			wantWarns: []string{"non-finite"},
+		},
+		{
+			name:      "nan-new-warns",
+			old:       "BenchmarkHot-8 10 100 ns/step\n",
+			niw:       "BenchmarkHot-8 10 NaN ns/step\n",
+			wantWarns: []string{"non-finite"},
+		},
+		{
+			name:     "finite-regression-still-fires",
+			old:      "BenchmarkHot-8 10 100 ns/step\nBenchmarkAlloc-8 10 0 B/op\n",
+			niw:      "BenchmarkHot-8 10 200 ns/step\nBenchmarkAlloc-8 10 64 B/op\n",
+			wantRegs: 1,
+			wantWarns: []string{
+				"baseline zero",
+			},
+		},
+	}
+	units := gatedUnits("ns/step,B/op")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			old, err := parseBench(writeTemp(t, c.old))
+			if err != nil {
+				t.Fatal(err)
+			}
+			niw, err := parseBench(writeTemp(t, c.niw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs, warns := regressionsOver(old, niw, units, 10)
+			if len(regs) != c.wantRegs {
+				t.Errorf("regs = %v, want %d", regs, c.wantRegs)
+			}
+			if len(warns) != len(c.wantWarns) {
+				t.Fatalf("warnings = %v, want %d", warns, len(c.wantWarns))
+			}
+			for i, want := range c.wantWarns {
+				if !strings.Contains(warns[i], want) {
+					t.Errorf("warning %d = %q, want mention of %q", i, warns[i], want)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,125 @@
+// Command benchmerge combines the partial BENCH_*.json documents written
+// by sharded or resumed radiobench campaigns into one complete schema-v2
+// document that is canonically byte-identical to an uninterrupted,
+// unsharded run of the same workload.
+//
+// Usage:
+//
+//	benchmerge -o merged.json BENCH_x_shard1of2.json BENCH_x_shard2of2.json
+//	benchmerge -against BENCH_x.json BENCH_x_shard*.json   # verify bit-identity
+//	benchmerge -runid x ...          # name the merged run explicitly
+//	benchmerge -force ...            # waive the environment-manifest check
+//
+// Inputs must form one complete campaign: every shard 1..k exactly once,
+// none interrupted (resume those first), all agreeing on seed and workload
+// shape — mismatches are refused, because merging them would fabricate a
+// run nobody executed. Rows are re-interleaved in measurement-point order
+// from each experiment's point-span provenance; engine counters are summed
+// (integer addition commutes, so totals match the unsharded run exactly)
+// and per-trial histograms merge into one trial-stats block.
+//
+// With -against REF the merged document's canonical projection (see
+// benchjson.Canonical) is byte-compared to REF's; a mismatch prints the
+// first divergence and exits 1 — the CI campaign-smoke gate.
+//
+// Exit status: 0 on success, 1 on merge or comparison failure, 2 on usage
+// errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adhocradio/internal/experiment/benchjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchmerge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the merged document to this file (atomic; default: stdout)")
+	runID := fs.String("runid", "", "run id of the merged document (default: derived by stripping the _shard<i>of<k> suffix)")
+	against := fs.String("against", "", "compare the merged document's canonical projection byte-for-byte against this reference document")
+	force := fs.Bool("force", false, "waive the environment-manifest equality check (seed/workload checks always apply)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchmerge [-o OUT] [-runid ID] [-against REF] [-force] BENCH_shard1.json ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	runs := make([]*benchjson.Run, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		r, err := benchjson.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchmerge:", err)
+			return 1
+		}
+		runs = append(runs, r)
+	}
+	merged, err := benchjson.Merge(runs, benchjson.MergeOptions{ID: *runID, Force: *force})
+	if err != nil {
+		fmt.Fprintln(stderr, "benchmerge:", err)
+		return 1
+	}
+
+	if *out != "" {
+		if err := benchjson.WriteFileAtomic(*out, merged); err != nil {
+			fmt.Fprintln(stderr, "benchmerge:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d experiments, %d inputs)\n", *out, len(merged.Experiments), len(runs))
+	} else if err := benchjson.Encode(stdout, merged); err != nil {
+		fmt.Fprintln(stderr, "benchmerge:", err)
+		return 1
+	}
+
+	if *against != "" {
+		ref, err := benchjson.ReadFile(*against)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchmerge:", err)
+			return 1
+		}
+		if err := diffCanonical(merged, ref); err != nil {
+			fmt.Fprintf(stderr, "benchmerge: %s: %v\n", *against, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "canonical documents are byte-identical (%s)\n", *against)
+	}
+	return 0
+}
+
+// diffCanonical byte-compares the canonical encodings of a and b,
+// reporting the first diverging line so a CI failure is diagnosable from
+// the log alone.
+func diffCanonical(a, b *benchjson.Run) error {
+	var ab, bb bytes.Buffer
+	if err := benchjson.Encode(&ab, a.Canonical()); err != nil {
+		return err
+	}
+	if err := benchjson.Encode(&bb, b.Canonical()); err != nil {
+		return err
+	}
+	if bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		return nil
+	}
+	al, bl := bytes.Split(ab.Bytes(), []byte("\n")), bytes.Split(bb.Bytes(), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Errorf("canonical documents differ at line %d:\n  merged:    %s\n  reference: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Errorf("canonical documents differ in length (%d vs %d lines)", len(al), len(bl))
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/experiment/benchjson"
+	"adhocradio/internal/obs"
+)
+
+// writeShardPair writes two complete shard documents (one experiment, three
+// points split by parity) plus the unsharded reference, returning the three
+// paths.
+func writeShardPair(t *testing.T) (s1, s2, ref string) {
+	t.Helper()
+	dir := t.TempDir()
+	base := benchjson.Experiment{
+		ID:      "E1",
+		Title:   "demo",
+		Columns: []string{"n", "t"},
+	}
+	mk := func(id string, idx, cnt int, e benchjson.Experiment) string {
+		r := &benchjson.Run{
+			Schema:      benchjson.SchemaVersion,
+			ID:          id,
+			Seed:        7,
+			Quick:       true,
+			ShardIndex:  idx,
+			ShardCount:  cnt,
+			Experiments: []benchjson.Experiment{e},
+		}
+		path := filepath.Join(dir, benchjson.Filename(id))
+		if err := benchjson.WriteFileAtomic(path, r); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	e1 := base
+	e1.Rows = [][]string{{"p0", "1"}, {"p2", "1"}}
+	e1.Points = []benchjson.PointSpan{{Index: 0, Rows: 1}, {Index: 2, Rows: 1}}
+	e1.Counters = &obs.Counters{Steps: 10}
+	s1 = mk("camp_shard1of2", 1, 2, e1)
+
+	e2 := base
+	e2.Rows = [][]string{{"p1", "1"}}
+	e2.Points = []benchjson.PointSpan{{Index: 1, Rows: 1}}
+	e2.Counters = &obs.Counters{Steps: 5}
+	s2 = mk("camp_shard2of2", 2, 2, e2)
+
+	eu := base
+	eu.Rows = [][]string{{"p0", "1"}, {"p1", "1"}, {"p2", "1"}}
+	eu.Counters = &obs.Counters{Steps: 15}
+	ref = mk("camp", 0, 0, eu)
+	return s1, s2, ref
+}
+
+func TestMergeToFileAndVerify(t *testing.T) {
+	s1, s2, ref := writeShardPair(t)
+	out := filepath.Join(t.TempDir(), "merged.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", out, "-against", ref, s1, s2}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "byte-identical") {
+		t.Fatalf("missing verification confirmation:\n%s", stdout.String())
+	}
+	merged, err := benchjson.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != "camp" || len(merged.Experiments) != 1 {
+		t.Fatalf("merged doc: %+v", merged)
+	}
+	if got := merged.Experiments[0].Rows; len(got) != 3 || got[1][0] != "p1" {
+		t.Fatalf("rows out of point order: %v", got)
+	}
+	if merged.Experiments[0].Counters.Steps != 15 {
+		t.Fatalf("counters not summed: %+v", merged.Experiments[0].Counters)
+	}
+}
+
+func TestMergeToStdout(t *testing.T) {
+	s1, s2, _ := writeShardPair(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{s1, s2}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if _, err := benchjson.Decode(&stdout); err != nil {
+		t.Fatalf("stdout is not a valid document: %v", err)
+	}
+}
+
+// TestVerifyDetectsDivergence: -against against a reference with different
+// payload exits 1 and names the first diverging line.
+func TestVerifyDetectsDivergence(t *testing.T) {
+	s1, s2, _ := writeShardPair(t)
+	// Use shard 1 itself as a bogus "reference": rows differ.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-against", s1, s1, s2}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "differ") {
+		t.Fatalf("no divergence diagnostic:\n%s", stderr.String())
+	}
+}
+
+func TestRefusesIncompleteOrMismatched(t *testing.T) {
+	s1, s2, _ := writeShardPair(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing-shard", []string{s1}, "have 1 of 2"},
+		{"duplicate-shard", []string{s1, s1}, "appears twice"},
+		{"unreadable-input", []string{filepath.Join(t.TempDir(), "nope.json"), s2}, "no such file"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1", code)
+			}
+			if !strings.Contains(stderr.String(), c.want) {
+				t.Fatalf("stderr %q, want mention of %q", stderr.String(), c.want)
+			}
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown-flag exit %d, want 2", code)
+	}
+}
+
+func TestExplicitRunID(t *testing.T) {
+	s1, s2, _ := writeShardPair(t)
+	out := filepath.Join(t.TempDir(), "m.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", out, "-runid", "custom", s1, s2}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	merged, err := benchjson.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != "custom" {
+		t.Fatalf("id = %q", merged.ID)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/experiment/benchjson"
+)
+
+// campaignOpts is the fixed tiny workload every campaign test runs; E2
+// exercises metered pooled trials (counters + trial stats), E5 a
+// multi-point table.
+func campaignOpts(jsonDir, runID string) options {
+	return options{only: "E2,E5", quick: true, seed: 3, parallel: 2, jsonDir: jsonDir, runID: runID}
+}
+
+func readRun(t *testing.T, path string) *benchjson.Run {
+	t.Helper()
+	r, err := benchjson.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func canonicalBytes(t *testing.T, r *benchjson.Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := benchjson.Encode(&buf, r.Canonical()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignBitIdentity is the tentpole's acceptance test: for a fixed
+// seed, (a) one unsharded run, (b) a 2-shard campaign merged, and (c) a run
+// killed mid-campaign then resumed must be byte-for-byte identical on the
+// canonical JSON — including the aggregated engine counters.
+func TestCampaignBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite four times")
+	}
+	// (a) The unsharded reference.
+	dirU := t.TempDir()
+	if err := runWith(context.Background(), campaignOpts(dirU, "bi"), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalBytes(t, readRun(t, filepath.Join(dirU, benchjson.Filename("bi"))))
+
+	// (b) Two shards, merged in point order.
+	dirS := t.TempDir()
+	for _, sh := range []string{"1/2", "2/2"} {
+		o := campaignOpts(dirS, "bi")
+		o.shard = sh
+		if err := runWith(context.Background(), o, io.Discard); err != nil {
+			t.Fatalf("shard %s: %v", sh, err)
+		}
+	}
+	s1 := readRun(t, filepath.Join(dirS, benchjson.Filename("bi_shard1of2")))
+	s2 := readRun(t, filepath.Join(dirS, benchjson.Filename("bi_shard2of2")))
+	merged, err := benchjson.Merge([]*benchjson.Run{s1, s2}, benchjson.MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != "bi" {
+		t.Fatalf("merged id = %q", merged.ID)
+	}
+	if got := canonicalBytes(t, merged); !bytes.Equal(got, want) {
+		t.Fatalf("merged shards differ from the unsharded run:\n%s\nvs\n%s", got, want)
+	}
+
+	// (c) Kill after two committed points (ctx cancellation inside the
+	// post-commit hook — the same cut a SIGINT or crash produces, since the
+	// checkpoint is already durable), then resume to completion.
+	dirK := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := campaignOpts(dirK, "bi")
+	o.ckpt = true
+	points := 0
+	o.afterPoint = func(string, int) {
+		if points++; points == 2 {
+			cancel()
+		}
+	}
+	err = runWith(ctx, o, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("killed run err = %v, want interrupted", err)
+	}
+	partial := readRun(t, filepath.Join(dirK, benchjson.Filename("bi")))
+	if !partial.Interrupted {
+		t.Fatal("partial record not flagged interrupted")
+	}
+
+	ro := campaignOpts(dirK, "")
+	ro.resume = "bi"
+	var out bytes.Buffer
+	if err := runWith(context.Background(), ro, &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 measurement point(s) already checkpointed") {
+		t.Fatalf("resume did not replay from the checkpoint:\n%s", out.String())
+	}
+	resumed := readRun(t, filepath.Join(dirK, benchjson.Filename("bi")))
+	if resumed.Interrupted {
+		t.Fatal("resumed record still flagged interrupted")
+	}
+	if got := canonicalBytes(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("killed-then-resumed run differs from the uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCampaignFlagValidation: the campaign flag combinations that cannot
+// work are refused with a diagnostic instead of producing a broken run.
+func TestCampaignFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"shard-needs-json", options{quick: true, shard: "1/2"}, "needs -json"},
+		{"ckpt-needs-json", options{quick: true, ckpt: true}, "needs -json"},
+		{"resume-needs-json", options{quick: true, resume: "x"}, "needs -json"},
+		{"bad-shard-syntax", options{quick: true, jsonDir: dir, shard: "7"}, "want i/k"},
+		{"shard-out-of-range", options{quick: true, jsonDir: dir, shard: "3/2"}, "1 <= i <= k"},
+		{"verify-on-shard", options{quick: true, jsonDir: dir, shard: "1/2", verify: true}, "merged document"},
+		{"runid-resume-conflict", options{quick: true, jsonDir: dir, runID: "a", resume: "b"}, "conflicts"},
+		{"resume-missing-ckpt", options{quick: true, jsonDir: dir, resume: "ghost"}, "resume"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := runWith(context.Background(), c.o, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestCampaignResumeRefusesForeignWorkload: a checkpoint taken under one
+// seed must not resume under another — that would splice two different
+// runs into one document.
+func TestCampaignResumeRefusesForeignWorkload(t *testing.T) {
+	dir := t.TempDir()
+	o := campaignOpts(dir, "w")
+	o.only = "E5"
+	o.ckpt = true
+	if err := runWith(context.Background(), o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	bad := o
+	bad.runID = ""
+	bad.resume = "w"
+	bad.seed = 99
+	err := runWith(context.Background(), bad, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "workload mismatch") {
+		t.Fatalf("err = %v, want workload mismatch", err)
+	}
+	// Shard disagreement with the checkpoint is refused too.
+	badShard := o
+	badShard.runID = ""
+	badShard.resume = "w"
+	badShard.shard = "1/2"
+	err = runWith(context.Background(), badShard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "conflicts with the checkpoint") {
+		t.Fatalf("err = %v, want shard conflict", err)
+	}
+}
+
+// TestCampaignShardRecordCarriesProvenance: shard documents embed the
+// shard identity and per-experiment point spans benchmerge needs.
+func TestCampaignShardRecordCarriesProvenance(t *testing.T) {
+	dir := t.TempDir()
+	o := campaignOpts(dir, "p")
+	o.only = "E5"
+	o.shard = "1/2"
+	if err := runWith(context.Background(), o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	rec := readRun(t, filepath.Join(dir, benchjson.Filename("p_shard1of2")))
+	if rec.ShardIndex != 1 || rec.ShardCount != 2 {
+		t.Fatalf("shard identity = %d/%d", rec.ShardIndex, rec.ShardCount)
+	}
+	e := rec.Experiments[0]
+	if len(e.Points) == 0 {
+		t.Fatal("shard document missing point spans")
+	}
+	rows := 0
+	for _, sp := range e.Points {
+		if sp.Index%2 != 0 {
+			t.Fatalf("shard 1/2 claims point %d", sp.Index)
+		}
+		rows += sp.Rows
+	}
+	if rows != len(e.Rows) {
+		t.Fatalf("spans cover %d of %d rows", rows, len(e.Rows))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "p_shard1of2.ckpt")); err != nil {
+		t.Fatalf("shard checkpoint missing: %v", err)
+	}
+}

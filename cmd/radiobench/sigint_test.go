@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"adhocradio/internal/experiment/benchjson"
+	"adhocradio/internal/experiment/campaign"
+)
+
+// TestMain turns the test binary into a radiobench child process when
+// re-executed with RADIOBENCH_CHILD=1 — the standard helper-process
+// pattern, so the SIGINT test below can deliver a real operating-system
+// signal to a real process instead of faking cancellation in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("RADIOBENCH_CHILD") == "1" {
+		os.Exit(childMain())
+	}
+	os.Exit(m.Run())
+}
+
+// childCkptMarker is printed by the child once two measurement points are
+// durably checkpointed; the parent waits for it before signalling.
+const childCkptMarker = "CKPT_MARKER_2_POINTS"
+
+// childMain runs the same campaign workload as TestCampaignBitIdentity
+// under a signal.NotifyContext, pausing after two committed points until
+// the parent's SIGINT arrives (so the cut lands at a deterministic spot).
+func childMain() int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	o := campaignOpts(os.Getenv("RADIOBENCH_CHILD_JSON"), "kr")
+	o.ckpt = true
+	points := 0
+	o.afterPoint = func(string, int) {
+		if points++; points == 2 {
+			fmt.Println(childCkptMarker)
+			<-ctx.Done()
+		}
+	}
+	if err := runWith(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radiobench:", err)
+		return 1
+	}
+	return 0
+}
+
+// TestSIGINTCampaignEndToEnd sends a real SIGINT to a radiobench child
+// process mid-campaign and asserts the whole recovery story: the child
+// exits non-zero leaving a valid checkpoint and a schema-valid partial
+// JSON flagged interrupted; -resume completes the run; and the final
+// document is canonically byte-identical to an uninterrupted run.
+func TestSIGINTCampaignEndToEnd(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal delivery")
+	}
+	if testing.Short() {
+		t.Skip("spawns a child process running the quick suite")
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"RADIOBENCH_CHILD=1",
+		"RADIOBENCH_CHILD_JSON="+dir,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the two-points-committed marker, then deliver the signal.
+	marker := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), childCkptMarker) {
+				marker <- nil
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+		select {
+		case marker <- fmt.Errorf("child exited without printing the checkpoint marker"):
+		default:
+		}
+	}()
+	select {
+	case err := <-marker:
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("timed out waiting for the child's checkpoint marker")
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("interrupted child exited zero")
+	}
+
+	// The checkpoint survived the signal and holds exactly the two
+	// committed points.
+	st, err := campaign.Resume(filepath.Join(dir, "kr.ckpt"), "kr",
+		campaign.Header{Seed: 3, Quick: true, Only: "E2,E5"})
+	if err != nil {
+		t.Fatalf("checkpoint invalid after SIGINT: %v", err)
+	}
+	if st.Checkpointed() != 2 {
+		t.Fatalf("checkpoint holds %d points, want 2", st.Checkpointed())
+	}
+
+	// The partial JSON is schema-valid and flagged interrupted.
+	partial := readRun(t, filepath.Join(dir, benchjson.Filename("kr")))
+	if !partial.Interrupted {
+		t.Fatal("partial record not flagged interrupted")
+	}
+
+	// Resume to completion in-process.
+	ro := campaignOpts(dir, "")
+	ro.resume = "kr"
+	var out bytes.Buffer
+	if err := runWith(context.Background(), ro, &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 measurement point(s) already checkpointed") {
+		t.Fatalf("resume did not replay the checkpoint:\n%s", out.String())
+	}
+	resumed := readRun(t, filepath.Join(dir, benchjson.Filename("kr")))
+	if resumed.Interrupted {
+		t.Fatal("resumed record still flagged interrupted")
+	}
+
+	// Byte-identity against an uninterrupted run of the same workload and
+	// run id (the id is part of the canonical document).
+	dirRef := t.TempDir()
+	if err := runWith(context.Background(), campaignOpts(dirRef, "kr"), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	ref := readRun(t, filepath.Join(dirRef, benchjson.Filename("kr")))
+	got, want := canonicalBytes(t, resumed), canonicalBytes(t, ref)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SIGINT-resumed run differs from the uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -1,0 +1,446 @@
+// Package campaign makes experiment sweeps crash-safe and shardable.
+//
+// A campaign wraps the per-point loop of every experiment with two
+// orthogonal mechanisms that both preserve the repository's bit-identity
+// contract (every random stream is derived from (seed, point/trial index),
+// so which process runs a point — or whether it runs at all on this shard —
+// cannot change a single output byte):
+//
+//   - Sharding: Shard{i, k} owns exactly the points p with p % k == i-1,
+//     for every experiment independently. The union of the k shard outputs,
+//     re-interleaved in point order (cmd/benchmerge), is byte-identical to
+//     an unsharded run.
+//
+//   - Checkpointing: after each completed point, its formatted rows and its
+//     engine-counter delta are committed to <runid>.ckpt before the next
+//     point starts. Each checkpoint line is canonical JSON carrying a CRC-32
+//     self-checksum, and every append rewrites the file through a temp file
+//     that is fsync'd and renamed into place — the same atomic discipline
+//     the BENCH_*.json writer uses — so a crash or SIGKILL at any instant
+//     leaves either the previous checkpoint or the new one, never a torn
+//     file. Resume validates the header against the invoking workload,
+//     replays committed points from the record (no re-simulation), and
+//     re-enters the sweep mid-experiment with the exact per-trial
+//     rng.NewStream(seed, index) derivation an uninterrupted run would use.
+//
+// The checkpoint stores formatted table cells, not raw measurements: the
+// replayed rows are the very strings the table renderer would have
+// produced, so resume cannot drift from a fresh run by a formatting change
+// in flight. Counters are stored per point so the per-experiment totals in
+// the JSON record come out identical whether a point was simulated or
+// replayed (CONTRIBUTING.md: new experiment state must round-trip through
+// the checkpoint record).
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"adhocradio/internal/obs"
+)
+
+// RecordSchema identifies the checkpoint line encoding; bump on any
+// incompatible change so a stale .ckpt is rejected instead of misread.
+const RecordSchema = 1
+
+// Shard is a 1-based slice of every experiment's point space: Shard{i, k}
+// owns point p iff p % k == i-1. The zero value is not valid; use
+// ParseShard or Single.
+type Shard struct {
+	Index int // 1-based shard number in [1, Count]
+	Count int // total shards
+}
+
+// Single is the trivial shard that owns every point.
+func Single() Shard { return Shard{Index: 1, Count: 1} }
+
+// ParseShard parses the -shard flag syntax "i/k" (1-based, 1 <= i <= k).
+func ParseShard(s string) (Shard, error) {
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("campaign: shard %q: want i/k (e.g. 1/2)", s)
+	}
+	i, err := strconv.Atoi(a)
+	if err != nil {
+		return Shard{}, fmt.Errorf("campaign: shard %q: bad index: %v", s, err)
+	}
+	k, err := strconv.Atoi(b)
+	if err != nil {
+		return Shard{}, fmt.Errorf("campaign: shard %q: bad count: %v", s, err)
+	}
+	if k < 1 || i < 1 || i > k {
+		return Shard{}, fmt.Errorf("campaign: shard %q: need 1 <= i <= k", s)
+	}
+	return Shard{Index: i, Count: k}, nil
+}
+
+// Owns reports whether this shard runs measurement point p. The unit of
+// sharding is the point — all of a point's trials ride with it — because
+// rows are emitted per point, so point-granular ownership is what lets the
+// merged output interleave back byte-identically.
+func (s Shard) Owns(p int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return p%s.Count == s.Index-1
+}
+
+// Suffix returns the run-id suffix for this shard ("" for a single shard),
+// e.g. "_shard1of2". cmd/benchmerge strips it to derive the merged run id.
+func (s Shard) Suffix() string {
+	if s.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("_shard%dof%d", s.Index, s.Count)
+}
+
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// Header pins the workload identity of a checkpoint. Resume refuses a
+// checkpoint whose header disagrees with the invoking flags: replaying
+// points recorded under a different seed or trial count would silently
+// splice two different experiments into one table.
+type Header struct {
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick"`
+	Trials     int    `json:"trials"`
+	Only       string `json:"only,omitempty"`
+	ShardIndex int    `json:"shard_index"`
+	ShardCount int    `json:"shard_count"`
+}
+
+// Record is one line of the <runid>.ckpt file. The first line carries the
+// Header (Point == -1, no Exp); every later line is one completed
+// measurement point with its formatted rows and its engine-counter delta.
+type Record struct {
+	Schema int    `json:"schema"`
+	Run    string `json:"run"`
+	// Header is set exactly on the first record of the file.
+	Header *Header `json:"header,omitempty"`
+	Exp    string  `json:"exp,omitempty"`
+	// Point is the measurement-point index within Exp (-1 on the header).
+	Point int `json:"point"`
+	// Rows holds the point's formatted table cells, in emission order.
+	Rows [][]string `json:"rows,omitempty"`
+	// Counters is the engine-counter delta this point contributed; replayed
+	// into the recorder on resume so merged totals match a fresh run.
+	Counters obs.Counters `json:"counters"`
+	// Sum is the IEEE CRC-32 (lowercase hex) of the record's canonical JSON
+	// encoding with Sum itself set to "" — a self-checksum that detects torn
+	// or corrupted lines independent of any filesystem guarantee.
+	Sum string `json:"sum"`
+}
+
+// seal encodes r as a checksummed JSON line (newline-terminated).
+func seal(r Record) ([]byte, error) {
+	r.Sum = ""
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding checkpoint record: %w", err)
+	}
+	r.Sum = fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))
+	line, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding checkpoint record: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// unseal parses one checkpoint line and verifies its self-checksum. The
+// re-marshal round-trips byte-identically because seal produced the line
+// from the same struct encoding.
+func unseal(line []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("campaign: corrupt checkpoint line: %w", err)
+	}
+	want := r.Sum
+	r.Sum = ""
+	body, err := json.Marshal(r)
+	if err != nil {
+		return Record{}, fmt.Errorf("campaign: re-encoding checkpoint line: %w", err)
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)); got != want {
+		return Record{}, fmt.Errorf("campaign: checkpoint line checksum mismatch (have %s, computed %s)", want, got)
+	}
+	r.Sum = want
+	return r, nil
+}
+
+// Span ties a contiguous group of emitted rows back to the measurement
+// point that produced them; the per-experiment span list is the provenance
+// cmd/benchmerge needs to re-interleave shard outputs in point order.
+type Span struct {
+	Point int
+	Rows  int
+}
+
+type pointKey struct {
+	exp   string
+	point int
+}
+
+// State is one campaign run's checkpoint, shard assignment, and replay
+// cache. It is confined to the sequential experiment sweep (one experiment
+// at a time, points within an experiment sequential too); it is not safe
+// for concurrent use.
+type State struct {
+	// RunID names the run; it must match the checkpoint's on resume.
+	RunID string
+	// Shard is this process's slice of every experiment's point space.
+	Shard Shard
+	// Header is the workload identity committed to the checkpoint.
+	Header Header
+	// AfterPoint, when non-nil, runs after each freshly completed point has
+	// been durably committed to the checkpoint — the hook the SIGINT test
+	// and the campaign-smoke crash injection hang off.
+	AfterPoint func(exp string, point int)
+
+	path     string
+	lines    [][]byte // sealed lines in file order, header first
+	done     map[pointKey]Record
+	spans    map[string][]Span
+	started  map[string]bool
+	replayed int
+}
+
+// Create starts a fresh checkpoint at path (overwriting any previous file)
+// and commits the header record immediately, so even a run killed before
+// its first point leaves a resumable checkpoint behind.
+func Create(path, runID string, shard Shard, hdr Header) (*State, error) {
+	if shard.Count < 1 || shard.Index < 1 || shard.Index > shard.Count {
+		return nil, fmt.Errorf("campaign: invalid shard %d/%d", shard.Index, shard.Count)
+	}
+	hdr.ShardIndex, hdr.ShardCount = shard.Index, shard.Count
+	s := newState(path, runID, shard, hdr)
+	line, err := seal(Record{Schema: RecordSchema, Run: runID, Point: -1, Header: &hdr})
+	if err != nil {
+		return nil, err
+	}
+	s.lines = append(s.lines, line)
+	if err := s.flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Resume loads the checkpoint at path and validates it against the invoking
+// workload: run id, schema, and every Header field must match (the shard is
+// adopted from the checkpoint, so hdr's shard fields are ignored). A torn
+// final line — possible only if the file was produced by something cruder
+// than the atomic rewrite — is dropped; corruption anywhere else is a hard
+// error, because silently skipping a mid-file point would resume the wrong
+// workload.
+func Resume(path, runID string, hdr Header) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	recs, err := parseAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: resume %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("campaign: resume %s: no intact records", path)
+	}
+	h := recs[0]
+	if h.Point != -1 || h.Header == nil {
+		return nil, fmt.Errorf("campaign: resume %s: first record is not a header", path)
+	}
+	if h.Schema != RecordSchema {
+		return nil, fmt.Errorf("campaign: resume %s: checkpoint schema %d, this build writes %d", path, h.Schema, RecordSchema)
+	}
+	if h.Run != runID {
+		return nil, fmt.Errorf("campaign: resume %s: checkpoint belongs to run %q, not %q", path, h.Run, runID)
+	}
+	loaded := *h.Header
+	if hdr.Seed != loaded.Seed || hdr.Quick != loaded.Quick || hdr.Trials != loaded.Trials || hdr.Only != loaded.Only {
+		return nil, fmt.Errorf("campaign: resume %s: workload mismatch: checkpoint was seed=%d quick=%v trials=%d only=%q, invoked with seed=%d quick=%v trials=%d only=%q",
+			path, loaded.Seed, loaded.Quick, loaded.Trials, loaded.Only, hdr.Seed, hdr.Quick, hdr.Trials, hdr.Only)
+	}
+	shard := Shard{Index: loaded.ShardIndex, Count: loaded.ShardCount}
+	if shard.Count < 1 || shard.Index < 1 || shard.Index > shard.Count {
+		return nil, fmt.Errorf("campaign: resume %s: invalid shard %d/%d in header", path, shard.Index, shard.Count)
+	}
+	s := newState(path, runID, shard, loaded)
+	for _, r := range recs {
+		line, err := seal(r)
+		if err != nil {
+			return nil, err
+		}
+		s.lines = append(s.lines, line)
+		if r.Point < 0 {
+			continue
+		}
+		if r.Run != runID {
+			return nil, fmt.Errorf("campaign: resume %s: record for foreign run %q", path, r.Run)
+		}
+		k := pointKey{r.Exp, r.Point}
+		if _, dup := s.done[k]; dup {
+			return nil, fmt.Errorf("campaign: resume %s: duplicate record for %s point %d", path, r.Exp, r.Point)
+		}
+		if !shard.Owns(r.Point) {
+			return nil, fmt.Errorf("campaign: resume %s: point %d of %s is not owned by shard %s", path, r.Point, r.Exp, shard)
+		}
+		s.done[k] = r
+	}
+	return s, nil
+}
+
+func newState(path, runID string, shard Shard, hdr Header) *State {
+	return &State{
+		RunID:   runID,
+		Shard:   shard,
+		Header:  hdr,
+		path:    path,
+		done:    map[pointKey]Record{},
+		spans:   map[string][]Span{},
+		started: map[string]bool{},
+	}
+}
+
+// parseAll splits the checkpoint into verified records, tolerating exactly
+// one torn line at the very end of the file.
+func parseAll(data []byte) ([]Record, error) {
+	var recs []Record
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends in '\n', so the final split element is empty.
+	for idx, ln := range lines {
+		if len(bytes.TrimSpace(ln)) == 0 {
+			continue
+		}
+		r, err := unseal(ln)
+		if err != nil {
+			if idx == len(lines)-1 || (idx == len(lines)-2 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0) {
+				// Torn tail: the crash interrupted the final append. Drop it;
+				// the point will simply be re-run.
+				return recs, nil
+			}
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// flush rewrites the checkpoint atomically: temp file in the same
+// directory, fsync, rename over the old file. The file is tiny (tens of
+// lines), so the whole-file rewrite per point costs microseconds and buys a
+// file that is always internally consistent.
+func (s *State) flush() error {
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	for _, ln := range s.lines {
+		if _, err := tmp.Write(ln); err != nil {
+			return fmt.Errorf("campaign: checkpoint %s: %w", s.path, err)
+		}
+	}
+	// The fsync is the crash-safety guarantee: after commit returns, the
+	// record survives a SIGKILL or power cut, not just a clean exit.
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("campaign: checkpoint %s: %w", s.path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: checkpoint %s: %w", s.path, err)
+	}
+	if err := os.Rename(name, s.path); err != nil {
+		return fmt.Errorf("campaign: checkpoint %s: %w", s.path, err)
+	}
+	committed = true
+	return nil
+}
+
+// commit durably appends one completed point to the checkpoint.
+func (s *State) commit(rec Record) error {
+	line, err := seal(rec)
+	if err != nil {
+		return err
+	}
+	s.lines = append(s.lines, line)
+	if err := s.flush(); err != nil {
+		// Roll the in-memory log back so a retried commit cannot duplicate
+		// the line.
+		s.lines = s.lines[:len(s.lines)-1]
+		return err
+	}
+	s.done[pointKey{rec.Exp, rec.Point}] = rec
+	return nil
+}
+
+// RunPoints drives one experiment's measurement points under the campaign
+// contract: points this shard does not own are skipped, points already in
+// the checkpoint are replayed (emit + replay, no simulation), and each
+// fresh point is committed durably before the next one starts. run is
+// called sequentially in ascending point order; emit receives the point's
+// formatted rows (fresh or replayed, identical either way); replay receives
+// a replayed point's counter delta so aggregated totals match a fresh run.
+func (s *State) RunPoints(ctx context.Context, exp string, n int,
+	run func(ctx context.Context, i int) ([][]string, obs.Counters, error),
+	emit func(rows [][]string),
+	replay func(c obs.Counters)) error {
+	if s.started[exp] {
+		return fmt.Errorf("campaign: experiment %s entered the campaign twice", exp)
+	}
+	s.started[exp] = true
+	for i := 0; i < n; i++ {
+		if !s.Shard.Owns(i) {
+			continue
+		}
+		if rec, ok := s.done[pointKey{exp, i}]; ok {
+			emit(rec.Rows)
+			replay(rec.Counters)
+			s.spans[exp] = append(s.spans[exp], Span{Point: i, Rows: len(rec.Rows)})
+			s.replayed++
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rows, counters, err := run(ctx, i)
+		if err != nil {
+			return err
+		}
+		rec := Record{Schema: RecordSchema, Run: s.RunID, Exp: exp, Point: i, Rows: rows, Counters: counters}
+		if err := s.commit(rec); err != nil {
+			return err
+		}
+		emit(rows)
+		s.spans[exp] = append(s.spans[exp], Span{Point: i, Rows: len(rows)})
+		if s.AfterPoint != nil {
+			s.AfterPoint(exp, i)
+		}
+	}
+	return nil
+}
+
+// Spans returns the (point, row-count) provenance of exp's emitted rows, in
+// emission order. The returned slice is owned by the State.
+func (s *State) Spans(exp string) []Span { return s.spans[exp] }
+
+// Checkpointed returns how many measurement points the checkpoint holds.
+func (s *State) Checkpointed() int { return len(s.done) }
+
+// Replayed returns how many points this process served from the checkpoint
+// instead of simulating.
+func (s *State) Replayed() int { return s.replayed }
+
+// Path returns the checkpoint file location.
+func (s *State) Path() string { return s.path }

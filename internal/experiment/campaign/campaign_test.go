@@ -1,0 +1,440 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocradio/internal/obs"
+)
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{"1/1", Shard{1, 1}, false},
+		{"1/2", Shard{1, 2}, false},
+		{"2/2", Shard{2, 2}, false},
+		{"3/7", Shard{3, 7}, false},
+		{"", Shard{}, true},
+		{"2", Shard{}, true},
+		{"0/2", Shard{}, true},
+		{"3/2", Shard{}, true},
+		{"1/0", Shard{}, true},
+		{"-1/2", Shard{}, true},
+		{"a/2", Shard{}, true},
+		{"1/b", Shard{}, true},
+		{"1/2/3", Shard{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseShard(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseShard(%q) accepted, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseShard(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardPartition: for any k, every point is owned by exactly one shard.
+func TestShardPartition(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		for p := 0; p < 37; p++ {
+			owners := 0
+			for i := 1; i <= k; i++ {
+				if (Shard{Index: i, Count: k}).Owns(p) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("k=%d point %d owned by %d shards", k, p, owners)
+			}
+		}
+	}
+}
+
+func TestShardSuffix(t *testing.T) {
+	if got := Single().Suffix(); got != "" {
+		t.Errorf("Single().Suffix() = %q", got)
+	}
+	if got := (Shard{Index: 2, Count: 3}).Suffix(); got != "_shard2of3" {
+		t.Errorf("Suffix() = %q", got)
+	}
+	if got := (Shard{Index: 2, Count: 3}).String(); got != "2/3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	rec := Record{
+		Schema:   RecordSchema,
+		Run:      "r1",
+		Exp:      "E5",
+		Point:    3,
+		Rows:     [][]string{{"a", "1.00"}, {"b", "2.50"}},
+		Counters: obs.Counters{Steps: 7, Transmissions: 3},
+	}
+	line, err := seal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unseal(line[:len(line)-1]) // strip the newline like parseAll does
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Sum = got.Sum
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip changed the record:\n got %+v\nwant %+v", got, rec)
+	}
+	// Any flipped byte in the payload must fail the checksum.
+	mut := append([]byte(nil), line...)
+	mut[len(mut)/2] ^= 0x01
+	if _, err := unseal(mut[:len(mut)-1]); err == nil {
+		t.Fatal("corrupted line passed its checksum")
+	}
+}
+
+// runAll drives a synthetic 5-point experiment through RunPoints, returning
+// emitted rows and the set of freshly simulated points.
+func runAll(t *testing.T, s *State, exp string, fail map[int]error) (rows [][]string, fresh []int, replayedCounters obs.Counters, err error) {
+	t.Helper()
+	err = s.RunPoints(context.Background(), exp, 5,
+		func(_ context.Context, i int) ([][]string, obs.Counters, error) {
+			if e := fail[i]; e != nil {
+				return nil, obs.Counters{}, e
+			}
+			fresh = append(fresh, i)
+			return [][]string{{exp, fmt.Sprint(i)}}, obs.Counters{Steps: int64(i + 1)}, nil
+		},
+		func(r [][]string) { rows = append(rows, r...) },
+		func(c obs.Counters) { replayedCounters.Add(c) })
+	return rows, fresh, replayedCounters, err
+}
+
+func TestCheckpointResumeSkipsCompletedPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	hdr := Header{Seed: 42, Quick: true, Trials: 3, Only: "E5"}
+
+	s, err := Create(path, "run", Single(), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pass fails at point 3: points 0-2 are committed.
+	boom := errors.New("boom")
+	rows, fresh, _, err := runAll(t, s, "E5", map[int]error{3: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(rows) != 3 || len(fresh) != 3 {
+		t.Fatalf("partial pass: rows=%v fresh=%v", rows, fresh)
+	}
+	if s.Checkpointed() != 3 {
+		t.Fatalf("Checkpointed() = %d, want 3", s.Checkpointed())
+	}
+
+	// Resume: 0-2 replay from the record, 3-4 run fresh.
+	r, err := Resume(path, "run", hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shard != Single() {
+		t.Fatalf("resumed shard = %v", r.Shard)
+	}
+	rows, fresh, replayed, err := runAll(t, r, "E5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"E5", "0"}, {"E5", "1"}, {"E5", "2"}, {"E5", "3"}, {"E5", "4"}}; !reflect.DeepEqual(rows, want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	if !reflect.DeepEqual(fresh, []int{3, 4}) {
+		t.Fatalf("fresh = %v, want [3 4]", fresh)
+	}
+	// Replayed counter deltas are points 0..2: Steps 1+2+3.
+	if replayed.Steps != 6 {
+		t.Fatalf("replayed Steps = %d, want 6", replayed.Steps)
+	}
+	if r.Replayed() != 3 {
+		t.Fatalf("Replayed() = %d, want 3", r.Replayed())
+	}
+	if want := []Span{{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 1}}; !reflect.DeepEqual(r.Spans("E5"), want) {
+		t.Fatalf("Spans = %v, want %v", r.Spans("E5"), want)
+	}
+}
+
+func TestShardOwnershipSkipsForeignPoints(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "s2.ckpt"), "s2", Shard{Index: 2, Count: 2}, Header{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, fresh, _, err := runAll(t, s, "E2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, []int{1, 3}) {
+		t.Fatalf("shard 2/2 ran points %v, want [1 3]", fresh)
+	}
+	if want := [][]string{{"E2", "1"}, {"E2", "3"}}; !reflect.DeepEqual(rows, want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	if want := []Span{{1, 1}, {3, 1}}; !reflect.DeepEqual(s.Spans("E2"), want) {
+		t.Fatalf("Spans = %v", s.Spans("E2"))
+	}
+}
+
+func TestRunPointsTwiceRejected(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "x.ckpt"), "x", Single(), Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := runAll(t, s, "E1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := runAll(t, s, "E1", nil); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("second entry err = %v, want 'twice'", err)
+	}
+}
+
+func TestRunPointsStopsOnCancelledContext(t *testing.T) {
+	s, err := Create(filepath.Join(t.TempDir(), "c.ckpt"), "c", Single(), Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err = s.RunPoints(ctx, "E1", 5,
+		func(_ context.Context, i int) ([][]string, obs.Counters, error) {
+			ran++
+			if i == 1 {
+				cancel() // the point itself completes; the NEXT point must not start
+			}
+			return [][]string{{"r"}}, obs.Counters{}, nil
+		},
+		func([][]string) {}, func(obs.Counters) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d points after cancel, want 2", ran)
+	}
+	if s.Checkpointed() != 2 {
+		t.Fatalf("Checkpointed() = %d, want 2 (completed points stay committed)", s.Checkpointed())
+	}
+}
+
+func TestResumeTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ckpt")
+	hdr := Header{Seed: 9}
+	s, err := Create(path, "t", Single(), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := runAll(t, s, "E1", map[int]error{2: errors.New("stop")}); err == nil {
+		t.Fatal("expected induced failure")
+	}
+	// Simulate a torn final append: half a line, no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"run":"t","exp":"E1","po`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Resume(path, "t", hdr)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if r.Checkpointed() != 2 {
+		t.Fatalf("Checkpointed() = %d, want 2 intact points", r.Checkpointed())
+	}
+}
+
+func TestResumeMidFileCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	hdr := Header{Seed: 9}
+	s, err := Create(path, "m", Single(), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := runAll(t, s, "E1", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alter a value inside the SECOND line (first point record), leaving the
+	// JSON well-formed and later lines intact: mid-file corruption that only
+	// the self-checksum can see.
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected checkpoint shape: %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], `"exp":"E1"`) {
+		t.Fatalf("record line shape changed: %q", lines[1])
+	}
+	lines[1] = strings.Replace(lines[1], `"exp":"E1"`, `"exp":"E9"`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(path, "m", hdr); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("mid-file corruption err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.ckpt")
+	hdr := Header{Seed: 5, Quick: true, Trials: 2, Only: "E1,E2"}
+	if _, err := Create(path, "v", Shard{Index: 1, Count: 2}, hdr); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  string
+		hdr  Header
+		want string
+	}{
+		{"wrong-run", "other", hdr, "belongs to run"},
+		{"wrong-seed", "v", Header{Seed: 6, Quick: true, Trials: 2, Only: "E1,E2"}, "workload mismatch"},
+		{"wrong-quick", "v", Header{Seed: 5, Quick: false, Trials: 2, Only: "E1,E2"}, "workload mismatch"},
+		{"wrong-trials", "v", Header{Seed: 5, Quick: true, Trials: 9, Only: "E1,E2"}, "workload mismatch"},
+		{"wrong-only", "v", Header{Seed: 5, Quick: true, Trials: 2, Only: "E3"}, "workload mismatch"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Resume(path, c.run, c.hdr); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+	// The matching header resumes fine and adopts the checkpoint's shard.
+	r, err := Resume(path, "v", hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shard != (Shard{Index: 1, Count: 2}) {
+		t.Fatalf("adopted shard = %v", r.Shard)
+	}
+	if r.Path() != path {
+		t.Fatalf("Path() = %q", r.Path())
+	}
+}
+
+func TestResumeMissingFile(t *testing.T) {
+	if _, err := Resume(filepath.Join(t.TempDir(), "nope.ckpt"), "x", Header{}); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestResumeEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.ckpt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(path, "e", Header{}); err == nil || !strings.Contains(err.Error(), "no intact records") {
+		t.Fatalf("err = %v, want 'no intact records'", err)
+	}
+}
+
+func TestCreateInvalidShard(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "b.ckpt"), "b", Shard{Index: 3, Count: 2}, Header{}); err == nil {
+		t.Fatal("invalid shard accepted")
+	}
+}
+
+func TestCreateUnwritableDirectory(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "missing", "x.ckpt"), "x", Single(), Header{}); err == nil {
+		t.Fatal("checkpoint in a missing directory accepted")
+	}
+}
+
+// TestCommitFailureRollsBack: a failed flush must not leave the in-memory
+// log ahead of the durable file.
+func TestCommitFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.ckpt")
+	s, err := Create(path, "r", Single(), Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := len(s.lines)
+	// Make the directory unwritable so CreateTemp fails.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	err = s.commit(Record{Schema: RecordSchema, Run: "r", Exp: "E1", Point: 0})
+	if err == nil {
+		t.Fatal("commit into an unwritable directory succeeded")
+	}
+	if len(s.lines) != lines {
+		t.Fatalf("failed commit grew the in-memory log: %d -> %d", lines, len(s.lines))
+	}
+	if s.Checkpointed() != 0 {
+		t.Fatalf("failed commit marked the point done")
+	}
+}
+
+// TestAfterPointRunsAfterDurableCommit: the hook fires once per fresh point,
+// after the record is already on disk (so a crash inside the hook still
+// leaves the point resumable).
+func TestAfterPointRunsAfterDurableCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.ckpt")
+	hdr := Header{Seed: 3}
+	s, err := Create(path, "h", Single(), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	s.AfterPoint = func(exp string, point int) {
+		fired = append(fired, point)
+		r, err := Resume(path, "h", hdr)
+		if err != nil {
+			t.Fatalf("checkpoint unreadable inside hook: %v", err)
+		}
+		if r.Checkpointed() != len(fired) {
+			t.Fatalf("hook at point %d sees %d committed points, want %d", point, r.Checkpointed(), len(fired))
+		}
+	}
+	if _, _, _, err := runAll(t, s, "E1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fired, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("hook fired for %v", fired)
+	}
+	// Replayed points do not re-fire the hook.
+	r, err := Resume(path, "h", hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AfterPoint = func(string, int) { t.Fatal("hook fired for a replayed point") }
+	if _, _, _, err := runAll(t, r, "E1", nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -53,9 +54,13 @@ func Workers(workers, n int) int {
 // Jobs are dispatched in ascending index order. The first job error stops
 // dispatch of further jobs; jobs already started run to completion, and Run
 // returns the error of the lowest failing index. If ctx is cancelled, Run
-// stops dispatching and returns ctx.Err() (unless a lower-indexed job had
-// already failed on its own). A job panic is recovered and reported as an
-// error for its index.
+// stops dispatching and returns a cancellation error — but a genuine job
+// failure always beats a cancellation-derived one, whatever their indices:
+// when cancellation and a real error race, job errors that merely wrap
+// ctx.Err() (jobs that observed the cancellation mid-flight) never mask the
+// real failure, so the reported error is deterministic across goroutine
+// schedules. A job panic is recovered and reported as an error for its
+// index.
 func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -102,14 +107,34 @@ func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i in
 	}
 	wg.Wait()
 
-	// Deterministic error selection: the lowest failing index wins, exactly
-	// as a sequential loop would have reported it.
+	// Deterministic error selection: the lowest GENUINELY failing index
+	// wins, exactly as a sequential loop would have reported it. Errors
+	// that merely relay the context's cancellation are set aside first:
+	// which jobs happen to observe a cancellation depends on the goroutine
+	// schedule, so letting a lower-index ctx-derived error win the scan
+	// would mask a real failure at a higher index on some schedules and
+	// report it on others. If every recorded error is ctx-derived, the
+	// lowest of them is returned (it wraps ctx.Err() and may carry useful
+	// job context); with none at all, plain ctx.Err() covers the
+	// cancelled-before-dispatch case.
+	ctxErr := ctx.Err()
+	var cancelled error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if ctxErr != nil && errors.Is(err, ctxErr) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return err
 	}
-	return ctx.Err()
+	if cancelled != nil {
+		return cancelled
+	}
+	return ctxErr
 }
 
 // runJob invokes job(i) with panic containment.

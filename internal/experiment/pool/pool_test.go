@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -231,5 +232,59 @@ func TestCollectMeteredError(t *testing.T) {
 	}
 	if out != nil || ns != nil {
 		t.Fatalf("failure returned partial data: %v %v", out, ns)
+	}
+}
+
+// TestCancellationNeverMasksRealError: when a genuine job failure and the
+// resulting (or a concurrent) context cancellation race, Run must report
+// the genuine error on every schedule. Before the fix, the lowest-index
+// error won unconditionally: a job at index 0 that merely observed the
+// cancellation (returning a wrapped ctx.Err()) could mask the real failure
+// at a higher index, so the reported error depended on which jobs happened
+// to be in flight. Run under -race in `make race`, many rounds to give the
+// schedule room to vary.
+func TestCancellationNeverMasksRealError(t *testing.T) {
+	boom := errors.New("boom")
+	for round := 0; round < 200; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := Run(ctx, 4, 8, func(ctx context.Context, i int) error {
+			switch i {
+			case 0:
+				// Long-running low-index job: observes the cancellation and
+				// relays it, wrapped, as its own failure.
+				<-ctx.Done()
+				return fmt.Errorf("job 0 gave up: %w", ctx.Err())
+			case 5:
+				// The genuine failure, which also triggers cancellation the
+				// way cmd/radiobench's signal context would.
+				cancel()
+				return boom
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, boom) {
+			cancel()
+			t.Fatalf("round %d: err = %v, want the genuine job error", round, err)
+		}
+		cancel()
+	}
+}
+
+// TestPureCancellationStillReported: with no genuine failure, a
+// cancellation-derived job error is still surfaced (lowest index first),
+// and errors.Is sees the context error through it.
+func TestPureCancellationStillReported(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	err := Run(ctx, 4, 8, func(ctx context.Context, i int) error {
+		once.Do(cancel)
+		if ctx.Err() != nil {
+			return fmt.Errorf("job %d cancelled: %w", i, ctx.Err())
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled", err)
 	}
 }

@@ -20,8 +20,16 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a row, formatting every cell with %v.
+// AddRow appends a row, formatting every cell with formatCells.
 func (t *Table) AddRow(cells ...any) {
+	t.Rows = append(t.Rows, formatCells(cells))
+}
+
+// formatCells renders one row's cells to the table's string form: %.2f for
+// float64, %v otherwise. The campaign checkpoint stores rows through this
+// same function, so a replayed point's cells are byte-identical to the
+// strings a fresh run would have produced.
+func formatCells(cells []any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -31,7 +39,7 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
 }
 
 // Render writes an aligned text table.

@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // HistBuckets is the number of log2 duration buckets: bucket i holds
 // observations with 2^i <= ns < 2^(i+1) (bucket 0 also absorbs 0 and
@@ -51,6 +54,46 @@ func (h *Hist) Observe(ns int64) {
 	h.Buckets[bucketOf(ns)]++
 }
 
+// Validate checks the histogram's internal consistency: non-negative
+// counts, bucket totals that sum to Count, and ordered extremes when
+// non-empty. A histogram decoded from an external document (a shard's
+// BENCH_*.json, say) can violate any of these through truncation or
+// corruption, and merging such a histogram would silently poison every
+// downstream quantile — hence MergeChecked.
+func (h Hist) Validate() error {
+	if h.Count < 0 {
+		return fmt.Errorf("obs: hist: negative count %d", h.Count)
+	}
+	var sum int64
+	for i, n := range h.Buckets {
+		if n < 0 {
+			return fmt.Errorf("obs: hist: negative bucket %d (%d)", i, n)
+		}
+		sum += n
+	}
+	if sum != h.Count {
+		return fmt.Errorf("obs: hist: buckets sum to %d but count is %d", sum, h.Count)
+	}
+	if h.Count > 0 && h.MinNS > h.MaxNS {
+		return fmt.Errorf("obs: hist: min %d > max %d", h.MinNS, h.MaxNS)
+	}
+	return nil
+}
+
+// MergeChecked is Merge for histograms of external provenance: both sides
+// are validated first and h is left untouched on error, so one malformed
+// shard document cannot corrupt an aggregation that spans many.
+func (h *Hist) MergeChecked(o Hist) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	h.Merge(o)
+	return nil
+}
+
 // Merge accumulates o into h.
 func (h *Hist) Merge(o Hist) {
 	if o.Count == 0 {
@@ -80,9 +123,12 @@ func (h Hist) MeanNS() int64 {
 // ApproxQuantileNS returns an upper bound for the q-quantile (q in [0, 1])
 // from the bucket boundaries: the exclusive top of the bucket holding the
 // q-th observation, clamped to MaxNS. Good enough for "p95 trial time"
-// reporting without retaining samples.
+// reporting without retaining samples. Out-of-range q clamps; an empty
+// histogram or a NaN q returns 0 (NaN compares false against both clamp
+// bounds, so without its own check it would reach the rank computation and
+// produce a garbage bucket index).
 func (h Hist) ApproxQuantileNS(q float64) int64 {
-	if h.Count == 0 {
+	if h.Count == 0 || q != q {
 		return 0
 	}
 	if q < 0 {

@@ -1,6 +1,10 @@
 package obs
 
-import "testing"
+import (
+	"math"
+	"strings"
+	"testing"
+)
 
 func TestHistBucketBoundaries(t *testing.T) {
 	cases := []struct {
@@ -96,5 +100,88 @@ func TestHistApproxQuantile(t *testing.T) {
 	// The estimate is an upper bound of the true quantile's bucket top.
 	if h.ApproxQuantileNS(0.95) < med {
 		t.Fatal("p95 below median")
+	}
+}
+
+// TestHistQuantileEdgeCases: an empty histogram and a NaN quantile both
+// return the defined value 0 — before the fix, NaN slipped past both range
+// clamps (NaN comparisons are false) and int64(NaN * ...) produced a
+// garbage rank.
+func TestHistQuantileEdgeCases(t *testing.T) {
+	var empty Hist
+	for _, q := range []float64{0, 0.5, 1, -1, 2, math.NaN()} {
+		if got := empty.ApproxQuantileNS(q); got != 0 {
+			t.Errorf("empty.ApproxQuantileNS(%v) = %d, want 0", q, got)
+		}
+	}
+	var h Hist
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.ApproxQuantileNS(math.NaN()); got != 0 {
+		t.Errorf("ApproxQuantileNS(NaN) = %d, want 0", got)
+	}
+	// Out-of-range q still clamps rather than erroring.
+	if got := h.ApproxQuantileNS(2); got != h.ApproxQuantileNS(1) {
+		t.Errorf("q=2 (%d) != q=1 (%d)", got, h.ApproxQuantileNS(1))
+	}
+	if got := h.ApproxQuantileNS(-3); got != h.ApproxQuantileNS(0) {
+		t.Errorf("q=-3 (%d) != q=0 (%d)", got, h.ApproxQuantileNS(0))
+	}
+}
+
+// TestHistValidateAndMergeChecked: histograms of external provenance (a
+// decoded shard document) must be rejected, not merged into garbage.
+func TestHistValidateAndMergeChecked(t *testing.T) {
+	var good Hist
+	good.Observe(100)
+	good.Observe(4000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+	if err := (Hist{}).Validate(); err != nil {
+		t.Fatalf("empty histogram rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Hist)
+		want string
+	}{
+		{"count-bucket-mismatch", func(h *Hist) { h.Count += 5 }, "sum"},
+		{"negative-count", func(h *Hist) { h.Count = -1; h.Buckets = [HistBuckets]int64{} }, "negative count"},
+		{"negative-bucket", func(h *Hist) { h.Buckets[3] = -2; h.Buckets[4] = 2 }, "negative bucket"},
+		{"min-above-max", func(h *Hist) { h.MinNS = h.MaxNS + 1 }, "min"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bad := good
+			c.mut(&bad)
+			if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, c.want)
+			}
+			dst := good
+			if err := dst.MergeChecked(bad); err == nil {
+				t.Fatal("MergeChecked accepted an invalid histogram")
+			}
+			if dst != good {
+				t.Fatal("failed MergeChecked modified the destination")
+			}
+		})
+	}
+
+	// The checked merge agrees with the unchecked one on valid input.
+	a, b := good, good
+	var plain Hist
+	plain.Merge(a)
+	plain.Merge(b)
+	var checked Hist
+	if err := checked.MergeChecked(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := checked.MergeChecked(b); err != nil {
+		t.Fatal(err)
+	}
+	if checked != plain {
+		t.Fatalf("MergeChecked result differs from Merge:\n%+v\n%+v", checked, plain)
 	}
 }
