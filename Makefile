@@ -9,7 +9,7 @@ GO ?= go
 # internal/analysis is here for its parallel per-package scheduler and the
 # shared cross-package fact store.
 RACE_PKGS := ./internal/radio/... ./internal/experiment/... ./internal/graph/... \
-	./internal/fault/... ./internal/analysis/... .
+	./internal/fault/... ./internal/analysis/... ./internal/service/... .
 
 # Where `make bench-smoke` writes its BENCH_*.json record; CI uploads the
 # same directory as a build artifact.
@@ -37,15 +37,20 @@ COVER_PROFILE ?= cover.out
 # internal/experiment/campaign holds the crash-safety layer: an untested
 # checkpoint writer is exactly the kind of code that corrupts a 10-hour
 # campaign on the first real crash, so it holds the same floor.
+# internal/service is the radiosd serving layer: admission control, the
+# compiled-graph cache, and graceful drain are all concurrency edges whose
+# failure modes (dropped jobs, poisoned cache, nondeterministic responses)
+# only tests catch, so it holds the same floor.
 COVER_FLOORS ?= adhocradio/internal/obs=85 adhocradio/internal/bitset=85 \
-	adhocradio/internal/graph=85 adhocradio/internal/experiment/campaign=85
+	adhocradio/internal/graph=85 adhocradio/internal/experiment/campaign=85 \
+	adhocradio/internal/service=85
 
 # Where `make campaign-smoke` stages its sharded/killed/resumed runs.
 CAMPAIGN_DIR ?= campaign-out
 
 .PHONY: check build test vet radiolint lint-baseline race race-full fmt-check \
 	bench-smoke bench-compare bench-save bench-kernel fuzz-smoke cover \
-	campaign-smoke
+	campaign-smoke service-smoke apisurface
 
 check: build vet fmt-check radiolint test race
 
@@ -156,6 +161,22 @@ campaign-smoke:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRunVsReference -fuzztime=10s ./internal/radio
 	$(GO) test -run=NONE -fuzz=FuzzParseSuppressions -fuzztime=10s ./internal/analysis
+
+# End-to-end gate for the radiosd serving layer, run under the race
+# detector: a real daemon child process, concurrent clients mixing cached
+# and uncached topologies, byte-identical responses for identical requests,
+# a /metrics scrape, and a SIGTERM drain that leaves zero accepted jobs
+# behind (the child exits non-zero otherwise).
+service-smoke:
+	$(GO) test -race -v -run TestServiceSmoke ./cmd/radiosd/
+
+# Regenerate the exported-API golden (lint/apisurface.txt) after a
+# deliberate public API change; TestAPISurfaceGolden (part of `make test`)
+# fails until the committed golden matches the source again. Review the
+# diff like you would any API change: CONTRIBUTING.md requires new entry
+# points to take a context or offer a *Context variant.
+apisurface:
+	$(GO) test -run TestAPISurfaceGolden . -args -update-apisurface
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -127,9 +127,11 @@ func LayerHeatmap(p *Progress, layers [][]int, informedAt []int, width int) stri
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
 
 // Broadcast simulates protocol p on network g until every node holds the
-// source message (or the step budget runs out). See radio.Run.
+// source message (or the step budget runs out, reported via
+// ErrBudgetExhausted). It is BroadcastContext with a background context;
+// use the context variant to cancel in-flight simulations.
 func Broadcast(g *Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
-	return radio.Run(g, p, cfg, opt)
+	return BroadcastContext(context.Background(), g, p, cfg, opt)
 }
 
 // NewRunner returns a reusable simulation engine. One Runner run at a time;

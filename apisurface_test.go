@@ -1,0 +1,152 @@
+package adhocradio
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The committed golden of this package's exported API surface. Any change
+// to a public identifier or signature shows up as a diff here and must be
+// regenerated deliberately (make apisurface) — accidental API breaks fail
+// `make check` instead of shipping.
+const apiSurfaceGolden = "lint/apisurface.txt"
+
+var updateAPISurface = flag.Bool("update-apisurface", false,
+	"rewrite "+apiSurfaceGolden+" from the current source")
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got, err := renderAPISurface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateAPISurface {
+		if err := os.WriteFile(apiSurfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", apiSurfaceGolden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(apiSurfaceGolden)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `make apisurface` and commit it): %v", apiSurfaceGolden, err)
+	}
+	if string(want) == got {
+		return
+	}
+	// Report the first diverging lines so the diff is readable without a
+	// diff tool, then point at the regeneration path.
+	wantLines := strings.Split(string(want), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Errorf("api surface drift at line %d:\n  golden:  %s\n  current: %s", i+1, w, g)
+			break
+		}
+	}
+	t.Fatalf("exported API surface differs from %s; if the change is intentional, "+
+		"run `make apisurface`, review the diff, and commit the regenerated golden",
+		apiSurfaceGolden)
+}
+
+// renderAPISurface lists every exported package-level identifier of the Go
+// package in dir with its full declaration, sorted, one entry per line
+// (struct and interface bodies keep their internal newlines). It is a
+// purely syntactic rendering via go/parser + go/printer: signatures are
+// reproduced as written, which is exactly what an API review wants to see,
+// and it needs nothing outside the standard library.
+func renderAPISurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var decls []string
+	for _, fe := range files {
+		name := fe.Name()
+		if fe.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				fn := *d
+				fn.Doc = nil
+				fn.Body = nil
+				s, err := renderNode(fset, &fn)
+				if err != nil {
+					return "", err
+				}
+				decls = append(decls, s)
+			case *ast.GenDecl:
+				kw := d.Tok.String()
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						cp := *sp
+						cp.Doc = nil
+						cp.Comment = nil
+						s, err := renderNode(fset, &cp)
+						if err != nil {
+							return "", err
+						}
+						decls = append(decls, kw+" "+s)
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range sp.Names {
+							exported = exported || n.IsExported()
+						}
+						if !exported {
+							continue
+						}
+						cp := *sp
+						cp.Doc = nil
+						cp.Comment = nil
+						s, err := renderNode(fset, &cp)
+						if err != nil {
+							return "", err
+						}
+						decls = append(decls, kw+" "+s)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n") + "\n", nil
+}
+
+func renderNode(fset *token.FileSet, n ast.Node) (string, error) {
+	var b bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&b, fset, n); err != nil {
+		return "", fmt.Errorf("rendering %T: %w", n, err)
+	}
+	return b.String(), nil
+}

@@ -201,8 +201,14 @@ func runWith(ctx context.Context, o options, stdout io.Writer) error {
 
 	want := map[string]bool{}
 	if o.only != "" {
+		// Validate eagerly: a typo'd experiment ID used to be silently
+		// skipped, turning "-only E42" into an empty (and green) run.
 		for _, id := range strings.Split(o.only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if _, err := experiment.ByID(id); errors.Is(err, experiment.ErrUnknownExperiment) {
+				return fmt.Errorf("-only: %w", err)
+			}
+			want[id] = true
 		}
 	}
 	workers := o.parallel

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"adhocradio"
 )
@@ -65,6 +67,19 @@ func run() error {
 		}
 	}
 	res, err := adhocradio.Broadcast(g, protocol, adhocradio.Config{Seed: *seed}, opt)
+	if errors.Is(err, adhocradio.ErrBudgetExhausted) {
+		// The partial result is still meaningful: report how far the
+		// broadcast got before failing the run.
+		informed := 0
+		for _, at := range res.InformedAt {
+			if at >= 0 {
+				informed++
+			}
+		}
+		fmt.Printf("step budget exhausted: %d/%d nodes informed after %d steps (raise -maxsteps)\n",
+			informed, g.N(), res.StepsSimulated)
+		return err
+	}
 	if err != nil {
 		return err
 	}
@@ -106,33 +121,24 @@ func run() error {
 	return nil
 }
 
+// buildTopology maps the flags onto a TopologySpec — the same canonical
+// description radiosd caches compiled graphs by, so the CLI and the daemon
+// build byte-identical networks for the same parameters.
 func buildTopology(topo string, n, d int, p float64, seed uint64) (*adhocradio.Graph, error) {
-	src := adhocradio.NewRand(seed)
-	switch topo {
-	case "path":
-		return adhocradio.Path(n), nil
-	case "star":
-		return adhocradio.Star(n), nil
-	case "clique":
-		return adhocradio.Clique(n), nil
-	case "grid":
+	spec := adhocradio.TopologySpec{Kind: topo, N: n, D: d, P: p, Seed: seed}
+	if topo == "grid" {
 		side := int(math.Sqrt(float64(n)))
-		return adhocradio.Grid(side, side), nil
-	case "layered":
-		return adhocradio.RandomLayered(n, d, p, src)
-	case "complete":
-		return adhocradio.UniformCompleteLayered(n, d)
-	case "gnp":
-		return adhocradio.GNPConnected(n, p, src), nil
-	case "tree":
-		return adhocradio.RandomTree(n, src), nil
-	case "disk":
-		return adhocradio.UnitDisk(n, 2/math.Sqrt(float64(n)), src), nil
-	case "starchain":
-		return adhocradio.StarChain(d, (n-1)/(d+1)), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topo)
+		spec = adhocradio.TopologySpec{Kind: "grid", Rows: side, Cols: side}
 	}
+	g, err := spec.Build()
+	if errors.Is(err, adhocradio.ErrInvalidTopologySpec) {
+		return nil, fmt.Errorf("bad -topo/-n/-d/-p combination (kinds: %s): %w",
+			strings.Join(adhocradio.TopologyKinds(), "|"), err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 func pickProtocol(name string) (adhocradio.Protocol, error) {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -95,14 +96,20 @@ func Registry() []Experiment {
 	}
 }
 
-// ByID returns the experiment with the given ID.
+// ErrUnknownExperiment is the sentinel wrapped by ByID (and everything
+// delegating to it) when no registered experiment has the requested ID.
+// Callers discriminate with errors.Is instead of matching message text.
+var ErrUnknownExperiment = errors.New("experiment: unknown id")
+
+// ByID returns the experiment with the given ID. The error wraps
+// ErrUnknownExperiment.
 func ByID(id string) (Experiment, error) {
 	for _, e := range Registry() {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
+	return Experiment{}, fmt.Errorf("%w %q (registered: E1..E%d)", ErrUnknownExperiment, id, len(Registry()))
 }
 
 // runPoints evaluates n independent measurement points through the worker

@@ -1,0 +1,105 @@
+package radio
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"adhocradio/internal/graph"
+)
+
+// stepCanceller cancels its context the moment node 0 has acted a given
+// number of times, so the cut lands at a deterministic step.
+type stepCanceller struct {
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (s *stepCanceller) Name() string { return "step-canceller" }
+func (s *stepCanceller) NewNode(label int, cfg Config) NodeProgram {
+	return &stepCancellerNode{p: s, label: label}
+}
+
+type stepCancellerNode struct {
+	p     *stepCanceller
+	label int
+}
+
+func (n *stepCancellerNode) Act(t int) (bool, any) {
+	if n.label == 0 && t >= n.p.cancelAt {
+		n.p.cancel()
+	}
+	return n.label == 0, nil
+}
+
+func (n *stepCancellerNode) Deliver(t int, msg Message) {}
+
+func TestRunIntoContextCancellation(t *testing.T) {
+	g := graph.Path(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &stepCanceller{cancelAt: 5, cancel: cancel}
+
+	r := NewRunner()
+	var res Result
+	err := r.RunIntoContext(ctx, &res, g, p, Config{Seed: 1}, Options{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+	if errors.Is(err, ErrStepLimit) {
+		t.Fatalf("cancellation must not be confused with the step limit: %v", err)
+	}
+	// Cancellation fires between steps: step 5 runs to completion (the
+	// protocol cancels from inside Act), the check before step 6 aborts.
+	if res.StepsSimulated != 5 {
+		t.Fatalf("StepsSimulated = %d, want 5", res.StepsSimulated)
+	}
+
+	// A cleanly cancelled engine is immediately reusable with no poison
+	// rebuild, and the rerun is bit-identical to a fresh engine's.
+	fl := flood{}
+	var reused, fresh Result
+	if err := r.RunInto(&reused, g, fl, Config{Seed: 7}, Options{}); err != nil {
+		t.Fatalf("reuse after cancellation: %v", err)
+	}
+	if err := NewRunner().RunInto(&fresh, g, fl, Config{Seed: 7}, Options{}); err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+	if reused.BroadcastTime != fresh.BroadcastTime ||
+		reused.Transmissions != fresh.Transmissions ||
+		reused.Collisions != fresh.Collisions {
+		t.Fatalf("reused engine diverged after cancellation: %+v vs %+v", reused, fresh)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	g := graph.Path(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, g, flood{}, Config{Seed: 1}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled RunContext returned a Result: %+v", res)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	g := graph.Path(32)
+	a, err := Run(g, flood{}, Config{Seed: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), g, flood{}, Config{Seed: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BroadcastTime != b.BroadcastTime || a.Transmissions != b.Transmissions ||
+		a.Receptions != b.Receptions || a.Collisions != b.Collisions {
+		t.Fatalf("RunContext(Background) diverged from Run: %+v vs %+v", a, b)
+	}
+}

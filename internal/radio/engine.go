@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -110,8 +111,15 @@ func (r *Runner) ResetCounters() { r.counters = obs.Counters{} }
 // package-level Run for the semantics; the only difference is scratch reuse
 // across calls on the same Runner.
 func (r *Runner) Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
+	return r.RunContext(context.Background(), g, p, cfg, opt)
+}
+
+// RunContext is Run honoring ctx: cancellation is checked between steps and
+// aborts the simulation with an error wrapping ctx.Err(). A cancelled run
+// returns a nil Result (only step-limit errors carry a usable partial one).
+func (r *Runner) RunContext(ctx context.Context, g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
 	res := new(Result)
-	err := r.RunInto(res, g, p, cfg, opt)
+	err := r.RunIntoContext(ctx, res, g, p, cfg, opt)
 	if err != nil && !errors.Is(err, ErrStepLimit) {
 		return nil, err
 	}
@@ -122,9 +130,22 @@ func (r *Runner) Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Resu
 // slice when the capacity suffices — the zero-allocation entry point for
 // tight trial loops. On a step-limit error the partially-filled Result is
 // left in place; on validation errors res is untouched.
+func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, opt Options) error {
+	return r.RunIntoContext(context.Background(), res, g, p, cfg, opt)
+}
+
+// RunIntoContext is RunInto honoring ctx, the cancellable zero-allocation
+// entry point service handlers use for in-flight simulations. Cancellation
+// is checked between steps (the same granularity RunExperimentContext uses
+// between measurement points): the run stops before the next step begins,
+// the error wraps ctx.Err() so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) discriminate the cause, and the
+// partially-filled Result reports the steps actually simulated. The
+// background context costs one predictable nil check per step, so the
+// steady-state allocation and throughput contracts are unchanged.
 //
 //radiolint:hotpath
-func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, opt Options) error {
+func (r *Runner) RunIntoContext(ctx context.Context, res *Result, g *graph.Graph, p Protocol, cfg Config, opt Options) error {
 	n := g.N()
 	if n == 0 {
 		return errors.New("radio: empty graph")
@@ -216,8 +237,18 @@ func (r *Runner) RunInto(res *Result, g *graph.Graph, p Protocol, cfg Config, op
 			res.StepsSimulated = t - 1
 			informedCount := r.informedCount
 			r.finish()
-			return fmt.Errorf("radio: %w after %d steps (%d/%d informed, protocol %s)",
+			return fmt.Errorf("%w after %d steps (%d/%d informed, protocol %s)",
 				ErrStepLimit, maxSteps, informedCount, n, p.Name())
+		}
+		if err := ctx.Err(); err != nil {
+			// Between-steps cancellation: the scratch invariants hold (no
+			// step is in flight), so finish() parks the engine cleanly and
+			// the next run on this Runner needs no poison rebuild.
+			res.StepsSimulated = t - 1
+			informedCount := r.informedCount
+			r.finish()
+			return fmt.Errorf("radio: run cancelled after %d steps (%d/%d informed, protocol %s): %w",
+				t-1, informedCount, n, p.Name(), err)
 		}
 
 		// Phase 1: collect transmitters among active nodes, tracking the

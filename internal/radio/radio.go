@@ -21,6 +21,7 @@
 package radio
 
 import (
+	"context"
 	"errors"
 
 	"adhocradio/internal/fault"
@@ -239,4 +240,13 @@ func DefaultMaxSteps(n int) int {
 func Run(g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
 	var r Runner
 	return r.Run(g, p, cfg, opt)
+}
+
+// RunContext is Run honoring ctx: cancellation is checked between steps, so
+// a caller (an HTTP handler, a worker with a request deadline) can abort an
+// in-flight simulation. The returned error wraps ctx.Err(); discriminate
+// with errors.Is. See Runner.RunIntoContext for the exact semantics.
+func RunContext(ctx context.Context, g *graph.Graph, p Protocol, cfg Config, opt Options) (*Result, error) {
+	var r Runner
+	return r.RunContext(ctx, g, p, cfg, opt)
 }

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"adhocradio/internal/obs"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (counters and gauges only, hand-rendered — no client library).
+// Lines appear in a fixed order so scrapes diff cleanly: service gauges
+// first, then job and cache counters, then the process-wide engine-counter
+// ledger projected from obs.Default.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(&sb, "%s %d\n", name, v)
+	}
+	gauge("radiosd_queue_depth", int64(len(s.queue)))
+	gauge("radiosd_queue_capacity", int64(s.cfg.QueueCap))
+	gauge("radiosd_workers", int64(s.cfg.Workers))
+	draining := int64(0)
+	if s.draining() {
+		draining = 1
+	}
+	gauge("radiosd_draining", draining)
+	gauge("radiosd_jobs_completed_total", s.completed.Load())
+	gauge("radiosd_jobs_failed_total", s.failed.Load())
+	gauge("radiosd_jobs_rejected_total", s.rejected.Load())
+	gauge("radiosd_cache_entries", int64(s.cache.len()))
+	gauge("radiosd_cache_hits_total", s.cache.hits.Load())
+	gauge("radiosd_cache_misses_total", s.cache.misses.Load())
+	c, trials := obs.Default.Snapshot()
+	gauge("obs_steps_total", c.Steps)
+	gauge("obs_transmissions_total", c.Transmissions)
+	gauge("obs_receptions_total", c.Receptions)
+	gauge("obs_collisions_total", c.Collisions)
+	gauge("obs_silent_steps_total", c.SilentSteps)
+	gauge("obs_fault_events_total", c.FaultEvents())
+	gauge("obs_trials_total", trials.Count)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(sb.String()))
+}
